@@ -1,0 +1,214 @@
+// Benchmarks regenerating the paper's tables and figures at reduced scale —
+// one benchmark per table/figure of the evaluation section. Each iteration
+// runs the full experiment and reports its wall-clock cost; the printed
+// tables land in the benchmark log (-v) via b.Log on the first iteration.
+//
+// Full-scale runs: cmd/gmreg-bench -scale full -exp <id>.
+// Paper-vs-measured numbers: EXPERIMENTS.md.
+package gmreg_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gmreg/internal/bench"
+)
+
+// benchScale shrinks the small scale a bit further so the full suite stays
+// friendly to `go test -bench=.` on a laptop.
+func benchScale() bench.Scale {
+	s := bench.SmallScale()
+	s.CIFARTrain, s.CIFARTest = 200, 100
+	s.CNNEpochs = 3
+	s.ProtocolRepeats, s.CVFolds, s.LogRegEpochs = 2, 2, 15
+	s.TimingEpochs, s.TimingBatches = 10, 15
+	s.EValues, s.EEpochs = []int{5, 2, 1}, 8
+	s.InitEpochs = 2
+	return s
+}
+
+func logFirst(b *testing.B, i int, buf *bytes.Buffer) {
+	b.Helper()
+	if i == 0 {
+		b.Log("\n" + buf.String())
+	}
+}
+
+// BenchmarkTable4LearnedGMAlex regenerates Table IV: the learned per-layer
+// GM regularization of Alex-CIFAR-10 versus the expert-tuned L2 reference.
+func BenchmarkTable4LearnedGMAlex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunTable4(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkTable5LearnedGMResNet regenerates Table V: the learned per-layer
+// GM regularization of the twenty-layer ResNet.
+func BenchmarkTable5LearnedGMResNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunTable5(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkTable6DeepAccuracy regenerates Table VI: accuracy of both deep
+// models under no regularization, tuned L2 and adaptive GM.
+func BenchmarkTable6DeepAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunTable6(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkTable7SmallDatasets regenerates Table VII: the five regularizers
+// at their cross-validated best settings on the hospital dataset and the 11
+// UCI datasets, mean ± stderr over stratified subsamples.
+func BenchmarkTable7SmallDatasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunTable7(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkTable8InitMethods regenerates Table VIII: average accuracy per GM
+// initialization method (the α-averaged view of Fig. 4) on Alex-CIFAR-10.
+func BenchmarkTable8InitMethods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunInitStudy(&buf, benchScale(), bench.ModelAlex); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkFigure3MixtureDensity regenerates Fig. 3: learned mixture density
+// curves and A/B crossover points on horse-colic and conn-sonar.
+func BenchmarkFigure3MixtureDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunFigure3(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkFigure4AlphaInit regenerates Fig. 4: accuracy for every
+// (initialization method, Dirichlet α) pair on the ResNet.
+func BenchmarkFigure4AlphaInit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunInitStudy(&buf, benchScale(), bench.ModelResNet); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkFigure5LazyUpdateIm regenerates Fig. 5: elapsed time per epoch
+// and convergence time across the Im sweep, plus the L2 baseline.
+func BenchmarkFigure5LazyUpdateIm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunFigure5(&buf, benchScale(), bench.ModelAlex); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkFigure6LazyUpdateIg regenerates Fig. 6: convergence time as the
+// GM-parameter interval Ig grows beyond Im=50.
+func BenchmarkFigure6LazyUpdateIg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunFigure6(&buf, benchScale(), bench.ModelAlex); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkFigure7WarmupE regenerates Fig. 7: elapsed time per epoch and
+// convergence time across the warm-up sweep E, plus the L2 baseline.
+func BenchmarkFigure7WarmupE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunFigure7(&buf, benchScale(), bench.ModelAlex); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationK sweeps the initial component count K (DESIGN.md §5).
+func BenchmarkAblationK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunAblationK(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationMerge toggles component merging (DESIGN.md §5).
+func BenchmarkAblationMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunAblationMerge(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationGammaPrior removes the Gamma-prior smoothing of λ
+// (DESIGN.md §5).
+func BenchmarkAblationGammaPrior(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunAblationGammaPrior(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationAdaptiveVsGrid compares one adaptive run against an
+// 8-point L2 grid search (DESIGN.md §5).
+func BenchmarkAblationAdaptiveVsGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunAblationAdaptiveVsGrid(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}
+
+// BenchmarkAblationHPO compares one adaptive run against grid/random/TPE
+// hyper-parameter search over an L2 strength (the paper's §VI-B framing).
+func BenchmarkAblationHPO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := bench.RunAblationHPO(&buf, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, i, &buf)
+	}
+}

@@ -1,0 +1,166 @@
+// GEMINI pipeline: the paper's Fig. 1 end-to-end healthcare analytics flow,
+// miniature edition. Raw (dirty) hospital data is cleaned (DICE role),
+// preprocessed, explored with cohort queries (CohAna role), used to train a
+// GM-regularized readmission model on data-parallel workers (SINGA role,
+// with the GM Reg tool plugged into the parameter server exactly as the
+// paper's red box shows), and the learned regularizer is checkpointed into
+// an immutable versioned store (Forkbase role).
+//
+// Run with: go run ./examples/gemini
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"gmreg/internal/clean"
+	"gmreg/internal/cohort"
+	"gmreg/internal/core"
+	"gmreg/internal/data"
+	"gmreg/internal/dist"
+	"gmreg/internal/epic"
+	"gmreg/internal/reg"
+	"gmreg/internal/store"
+	"gmreg/internal/tensor"
+	"gmreg/internal/train"
+)
+
+func main() {
+	// ── Stage 0: raw data arrives (with injected quality problems). ──────
+	spec := data.UCISpecByNameMust("horse-colic")
+	raw := data.GenerateUCI(spec, 42)
+	dirty := injectDirt(raw)
+	fmt.Printf("raw data: %d rows\n", dirty.NumSamples())
+
+	// ── Stage 1: DICE — rule-based cleaning. ─────────────────────────────
+	cleaned, report, err := clean.Clean(dirty, clean.Policy{
+		DropDuplicates:           true,
+		EnforceCategoricalDomain: true,
+		Ranges:                   []clean.RangeRule{{Column: 0, Lo: -6, Hi: 6}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(report)
+
+	// ── Stage 2: preprocessing (one-hot, imputation, standardization). ───
+	rows := make([]int, cleaned.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	enc := data.FitEncoder(cleaned, rows)
+	task := enc.Encode("horse-colic", cleaned)
+	fmt.Printf("encoded: %d × %d features\n", task.NumSamples(), task.NumFeatures())
+
+	// ── Stage 2½: epiC — parallel aggregation / summarization. ───────────
+	summaries, err := epic.Summarize(task.X, 0)
+	if err != nil {
+		panic(err)
+	}
+	var sparse int
+	for _, s := range summaries {
+		if s.Zeros > task.NumSamples()/2 {
+			sparse++
+		}
+	}
+	fmt.Printf("summarized %d columns in parallel: %d are sparse; f0 profile: %s\n",
+		len(summaries), sparse, summaries[0])
+
+	// ── Stage 3: CohAna — cohort exploration before modelling. ───────────
+	cols := make([]string, task.NumFeatures())
+	for i := range cols {
+		cols[i] = fmt.Sprintf("f%d", i)
+	}
+	outcome := make([]float64, len(task.Y))
+	for i, y := range task.Y {
+		outcome[i] = float64(y)
+	}
+	tbl, err := cohort.NewTable(cols, task.X, outcome)
+	if err != nil {
+		panic(err)
+	}
+	// Segment on the first continuous feature (after the one-hot block).
+	segCol := cols[task.NumFeatures()-spec.ContFeatures]
+	res, err := tbl.Select(nil).SegmentBy(segCol, 4).Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncohort analysis over %s (%d cases):\n", segCol, res.CohortSize)
+	for _, s := range res.Segments {
+		fmt.Printf("  %-22s n=%3d  outcome rate %.2f ± %.2f\n",
+			s.Label, s.Count, s.MeanOutcome, s.StdOutcome)
+	}
+
+	// ── Stage 4: SINGA — data-parallel training with GM Reg at the server.
+	rng := tensor.NewRNG(7)
+	trainRows, testRows := data.StratifiedSplit(task.Y, 0.8, rng)
+	cfg := dist.Config{
+		Workers: 4,
+		SGD: train.SGDConfig{
+			LearningRate: 0.1,
+			Momentum:     0.9,
+			Epochs:       80,
+			BatchSize:    32,
+			Seed:         9,
+		},
+	}
+	fit, err := dist.LogReg(task, trainRows, cfg, func(m int, initStd float64) reg.Regularizer {
+		return core.MustNewGM(m, core.DefaultConfig(initStd))
+	})
+	if err != nil {
+		panic(err)
+	}
+	g := fit.Regularizer.(*core.GM)
+	fmt.Printf("\ntrained on %d workers in %.2fs\n", cfg.Workers, fit.History.TotalTime().Seconds())
+	fmt.Printf("test accuracy: %.3f\n", fit.Model.Accuracy(task.X, task.Y, testRows))
+	fmt.Printf("learned regularizer: %s\n", g)
+
+	// ── Stage 5: Forkbase — version the learned artifacts. ───────────────
+	db := store.New()
+	snapshot, err := json.Marshal(g)
+	if err != nil {
+		panic(err)
+	}
+	v1, _ := db.Put("models/readmission/gm", snapshot)
+	weights := make([]byte, 0, len(fit.Model.W)*8)
+	for _, w := range fit.Model.W {
+		weights = appendFloat(weights, w)
+	}
+	db.Put("models/readmission/weights", weights)
+	// A what-if branch: fork, retrain a variant, keep both histories.
+	if err := db.Fork("models/readmission/gm", "models/readmission/gm-experiment"); err != nil {
+		panic(err)
+	}
+	keys, versions, blobs := db.Stats()
+	fmt.Printf("\nstore: %d keys, %d versions, %d blobs (gm snapshot %s…, seq %d)\n",
+		keys, versions, blobs, v1.Hash[:12], v1.Seq)
+
+	// Round trip: the stored snapshot restores to a working regularizer.
+	blob, _, _ := db.Get("models/readmission/gm-experiment")
+	restored := &core.GM{}
+	if err := json.Unmarshal(blob, restored); err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored from store: %s (density at 0: %.3f)\n",
+		restored, restored.Density(0))
+}
+
+// injectDirt adds duplicates, a domain violation and a range violation so
+// the cleaning stage has work to do.
+func injectDirt(raw *data.RawTable) *data.RawTable {
+	raw.Cat = append(raw.Cat, append([]int(nil), raw.Cat[0]...))
+	raw.Cont = append(raw.Cont, append([]float64(nil), raw.Cont[0]...))
+	raw.Y = append(raw.Y, raw.Y[0]) // exact duplicate of row 0
+	raw.Cat[1][0] = 99              // impossible category
+	raw.Cont[2][0] = 1e6            // absurd measurement
+	return raw
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	for s := 0; s < 64; s += 8 {
+		dst = append(dst, byte(bits>>s))
+	}
+	return dst
+}

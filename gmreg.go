@@ -1,0 +1,122 @@
+// Package gmreg is the public face of the adaptive Gaussian-Mixture
+// regularization tool (Luo et al., "Adaptive Lightweight Regularization Tool
+// for Complex Analytics", ICDE 2018).
+//
+// The tool replaces hand-tuned penalties (L1, L2, Elastic-net, Huber) with a
+// zero-mean Gaussian Mixture prior that is learned from the intermediate
+// model parameters while they train: a lightweight EM step runs interleaved
+// with SGD and the mixture's regularization gradient is fed back to the
+// optimizer. A lazy-update schedule amortizes the EM cost (~4× cheaper).
+//
+// Minimal use, for any model that exposes its parameters as []float64:
+//
+//	g := gmreg.MustNewGM(len(w), gmreg.DefaultConfig(0.1))
+//	greg := make([]float64, len(w))
+//	for it := 0; it < steps; it++ {
+//		gll := computeDataGradient(w)
+//		g.Grad(w, greg) // E-step + M-step per the lazy schedule
+//		for i := range w {
+//			w[i] -= lr * (gll[i] + greg[i]/float64(nSamples))
+//		}
+//	}
+//
+// The subpackages under internal provide everything the paper's evaluation
+// needs: a from-scratch deep-learning engine (internal/nn), model builders
+// (internal/models), synthetic datasets with real preprocessing
+// (internal/data), trainers (internal/train), the evaluation protocol
+// (internal/eval) and the experiment harness that regenerates every table
+// and figure (internal/bench).
+package gmreg
+
+import (
+	"gmreg/internal/core"
+	"gmreg/internal/reg"
+)
+
+// Re-exported core types: the adaptive regularizer and its configuration.
+type (
+	// GM is the adaptive Gaussian-Mixture regularizer for one parameter
+	// group. See internal/core for the full method set.
+	GM = core.GM
+	// Config is the GM hyper-parameter set.
+	Config = core.Config
+	// InitMethod selects the precision initialization strategy.
+	InitMethod = core.InitMethod
+	// Regularizer is the interface shared by GM and the fixed baselines.
+	Regularizer = reg.Regularizer
+	// Factory builds a fresh Regularizer per parameter group.
+	Factory = reg.Factory
+)
+
+// Re-exported initialization methods (paper §V-E).
+const (
+	InitLinear       = core.InitLinear
+	InitIdentical    = core.InitIdentical
+	InitProportional = core.InitProportional
+)
+
+// GammaGrid is the paper's search grid for the γ hyper-parameter (b = γ·M).
+var GammaGrid = core.GammaGrid
+
+// DefaultConfig returns the paper's hyper-parameter recipe for a parameter
+// group initialized with the given standard deviation.
+func DefaultConfig(initStd float64) Config { return core.DefaultConfig(initStd) }
+
+// NewGM builds a GM regularizer for a parameter group with m dimensions.
+func NewGM(m int, cfg Config) (*GM, error) { return core.NewGM(m, cfg) }
+
+// MustNewGM is NewGM that panics on error.
+func MustNewGM(m int, cfg Config) *GM { return core.MustNewGM(m, cfg) }
+
+// GMFactory returns a Factory producing one adaptive GM per parameter group,
+// using the automatic recipe anchored at each group's initialization scale.
+// Options mutate the per-group config (e.g. to pick γ from GammaGrid).
+func GMFactory(opts ...func(*Config)) Factory {
+	return func(m int, initStd float64) Regularizer {
+		cfg := core.DefaultConfig(initStd)
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		return core.MustNewGM(m, cfg)
+	}
+}
+
+// WithGamma sets γ (prior rate b = γ·M) on a GMFactory.
+func WithGamma(gamma float64) func(*Config) {
+	return func(c *Config) { c.Gamma = gamma }
+}
+
+// WithLazyUpdate sets the lazy-update schedule: E warm-up epochs, greg every
+// im iterations, GM parameters every ig iterations.
+func WithLazyUpdate(e, im, ig int) func(*Config) {
+	return func(c *Config) {
+		c.WarmupEpochs = e
+		c.RegInterval = im
+		c.GMInterval = ig
+	}
+}
+
+// WithInit selects the GM precision initialization method.
+func WithInit(m InitMethod) func(*Config) {
+	return func(c *Config) { c.Init = m }
+}
+
+// Fixed-baseline factories, for comparison runs.
+
+// NoReg returns the "no regularization" factory.
+func NoReg() Factory { return reg.Fixed(reg.None{}) }
+
+// L1 returns an L1-norm (Lasso) factory with strength beta.
+func L1(beta float64) Factory { return reg.Fixed(reg.L1{Beta: beta}) }
+
+// L2 returns an L2-norm (weight decay) factory with strength beta.
+func L2(beta float64) Factory { return reg.Fixed(reg.L2{Beta: beta}) }
+
+// ElasticNet returns an Elastic-net factory with strength beta and the given
+// L1 proportion.
+func ElasticNet(beta, l1Ratio float64) Factory {
+	return reg.Fixed(reg.ElasticNet{Beta: beta, L1Ratio: l1Ratio})
+}
+
+// Huber returns a Huber-norm factory with strength beta and threshold mu.
+func Huber(beta, mu float64) Factory { return reg.Fixed(reg.Huber{Beta: beta, Mu: mu}) }

@@ -1,0 +1,3 @@
+module gmreg
+
+go 1.22

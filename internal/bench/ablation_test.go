@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAblationK(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunAblationK(&buf, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.FinalK > r.InitialK {
+			t.Errorf("K grew from %d to %d", r.InitialK, r.FinalK)
+		}
+		if r.FinalK < 1 {
+			t.Errorf("final K %d", r.FinalK)
+		}
+		if r.Accuracy < 0.4 || r.Accuracy > 1 {
+			t.Errorf("K=%d accuracy %v implausible", r.InitialK, r.Accuracy)
+		}
+	}
+	// K=1 cannot model the two-scale structure; K≥2 should not be worse.
+	if rows[0].FinalK != 1 {
+		t.Errorf("K=1 must stay at 1 component, got %d", rows[0].FinalK)
+	}
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Error("missing report header")
+	}
+}
+
+func TestRunAblationMerge(t *testing.T) {
+	var buf bytes.Buffer
+	r, err := RunAblationMerge(&buf, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FinalKMergeOff != 4 {
+		t.Errorf("merging off must keep all 4 components, got %d", r.FinalKMergeOff)
+	}
+	if r.FinalKMergeOn > r.FinalKMergeOff {
+		t.Errorf("merging on produced more components (%d) than off (%d)",
+			r.FinalKMergeOn, r.FinalKMergeOff)
+	}
+	// Accuracy parity within a couple of points: merging is cleanup.
+	diff := r.AccMergeOn - r.AccMergeOff
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.05 {
+		t.Errorf("merging changed accuracy too much: %.3f vs %.3f",
+			r.AccMergeOn, r.AccMergeOff)
+	}
+}
+
+func TestRunAblationGammaPrior(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunAblationGammaPrior(&buf, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	// Weaker priors allow (weakly) larger precisions: the recipe's λ cap is
+	// ~1/(2γ), so the vanishing prior's max λ must dominate the recipe's.
+	if rows[2].MaxLambda < rows[0].MaxLambda {
+		t.Errorf("vanishing prior max λ %.1f below recipe's %.1f",
+			rows[2].MaxLambda, rows[0].MaxLambda)
+	}
+}
+
+func TestRunAblationAdaptiveVsGrid(t *testing.T) {
+	var buf bytes.Buffer
+	r, err := RunAblationAdaptiveVsGrid(&buf, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GMRuns != 1 || r.GridRuns != 8 {
+		t.Fatalf("runs = %d/%d, want 1/8", r.GMRuns, r.GridRuns)
+	}
+	// One adaptive run must be much cheaper than eight grid runs.
+	if r.GMTime.Seconds() > 0.6*r.GridTime.Seconds() {
+		t.Errorf("GM run (%v) not meaningfully cheaper than grid (%v)",
+			r.GMTime, r.GridTime)
+	}
+	// And within a few accuracy points of the tuned fixed prior.
+	if r.GMAccuracy < r.GridAccuracy-0.05 {
+		t.Errorf("GM accuracy %.3f trails tuned grid %.3f by too much",
+			r.GMAccuracy, r.GridAccuracy)
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAblationHPO(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunAblationHPO(&buf, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (GM + 3 searchers)", len(rows))
+	}
+	if rows[0].TrainingRuns != 1 {
+		t.Fatalf("GM should use 1 training run, used %d", rows[0].TrainingRuns)
+	}
+	for _, r := range rows[1:] {
+		if r.TrainingRuns != 12 {
+			t.Errorf("%s used %d runs, want the budget of 12", r.Method, r.TrainingRuns)
+		}
+		if r.BestAccuracy < 0.4 || r.BestAccuracy > 1 {
+			t.Errorf("%s accuracy %v implausible", r.Method, r.BestAccuracy)
+		}
+		// One adaptive run must be far cheaper than any 12-run search.
+		if rows[0].Seconds > 0.5*r.Seconds {
+			t.Errorf("GM (%.2fs) not meaningfully cheaper than %s (%.2fs)",
+				rows[0].Seconds, r.Method, r.Seconds)
+		}
+	}
+	// And competitive: within a few points of the best searcher.
+	best := rows[1].BestAccuracy
+	for _, r := range rows[2:] {
+		if r.BestAccuracy > best {
+			best = r.BestAccuracy
+		}
+	}
+	if rows[0].BestAccuracy < best-0.05 {
+		t.Errorf("GM accuracy %.3f trails best search %.3f by too much",
+			rows[0].BestAccuracy, best)
+	}
+	if !strings.Contains(buf.String(), "hyper-parameter optimization") {
+		t.Error("missing report header")
+	}
+}

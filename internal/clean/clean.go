@@ -1,0 +1,170 @@
+// Package clean is the data-cleaning substrate standing in for DICE in the
+// paper's GEMINI stack (Fig. 1): rule-based integrity checking and repair of
+// raw tabular data before it reaches analytics — duplicate elimination,
+// range constraints on continuous columns, domain constraints on categorical
+// columns, and missing-value accounting. Repaired cells are marked missing
+// so the downstream preprocessing pipeline (data.Encoder) imputes them
+// consistently, mirroring how GEMINI chains DICE into the learning stages.
+package clean
+
+import (
+	"fmt"
+	"math"
+
+	"gmreg/internal/data"
+)
+
+// RangeRule constrains one continuous column to [Lo, Hi].
+type RangeRule struct {
+	// Column indexes into RawTable.Cont rows.
+	Column int
+	Lo, Hi float64
+	// Clamp repairs violations by clamping into range; otherwise the cell
+	// is marked missing for downstream imputation.
+	Clamp bool
+}
+
+// Policy configures a cleaning pass.
+type Policy struct {
+	// DropDuplicates removes exact duplicate rows (categoricals,
+	// continuous values and label all equal), keeping the first.
+	DropDuplicates bool
+	// Ranges lists the continuous-column constraints.
+	Ranges []RangeRule
+	// EnforceCategoricalDomain marks categorical values outside
+	// [0, card) (other than the missing marker −1) as missing.
+	EnforceCategoricalDomain bool
+}
+
+// Report summarizes what a cleaning pass found and did.
+type Report struct {
+	// RowsIn and RowsOut are the table sizes before and after.
+	RowsIn, RowsOut int
+	// DuplicatesDropped counts removed rows.
+	DuplicatesDropped int
+	// RangeViolations counts continuous cells outside their constraint.
+	RangeViolations int
+	// DomainViolations counts categorical cells outside their domain.
+	DomainViolations int
+	// CellsClamped and CellsNulled split the repairs.
+	CellsClamped, CellsNulled int
+	// MissingCells counts missing cells after cleaning (including repairs).
+	MissingCells int
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"clean: %d→%d rows (%d duplicates), %d range + %d domain violations (%d clamped, %d nulled), %d missing cells",
+		r.RowsIn, r.RowsOut, r.DuplicatesDropped,
+		r.RangeViolations, r.DomainViolations,
+		r.CellsClamped, r.CellsNulled, r.MissingCells)
+}
+
+// Clean applies the policy to a raw table, returning a new table (the input
+// is not modified) and the report.
+func Clean(raw *data.RawTable, policy Policy) (*data.RawTable, Report, error) {
+	rep := Report{RowsIn: raw.NumSamples()}
+	for _, rule := range policy.Ranges {
+		if len(raw.Cont) == 0 || rule.Column < 0 || rule.Column >= len(raw.Cont[0]) {
+			return nil, rep, fmt.Errorf("clean: range rule on missing continuous column %d", rule.Column)
+		}
+		if rule.Lo > rule.Hi {
+			return nil, rep, fmt.Errorf("clean: range rule on column %d has Lo > Hi", rule.Column)
+		}
+	}
+
+	out := &data.RawTable{
+		Cards:         append([]int(nil), raw.Cards...),
+		HasMissingCat: raw.HasMissingCat,
+	}
+	seen := map[string]bool{}
+	for i := 0; i < raw.NumSamples(); i++ {
+		var cat []int
+		if len(raw.Cat) > 0 {
+			cat = append([]int(nil), raw.Cat[i]...)
+		}
+		var cont []float64
+		if len(raw.Cont) > 0 {
+			cont = append([]float64(nil), raw.Cont[i]...)
+		}
+		// Domain constraints.
+		if policy.EnforceCategoricalDomain {
+			for j, v := range cat {
+				if v != -1 && (v < 0 || v >= raw.Cards[j]) {
+					rep.DomainViolations++
+					rep.CellsNulled++
+					cat[j] = -1
+					out.HasMissingCat = true
+				}
+			}
+		}
+		// Range constraints.
+		for _, rule := range policy.Ranges {
+			v := cont[rule.Column]
+			if math.IsNaN(v) || (v >= rule.Lo && v <= rule.Hi) {
+				continue
+			}
+			rep.RangeViolations++
+			if rule.Clamp {
+				rep.CellsClamped++
+				cont[rule.Column] = math.Max(rule.Lo, math.Min(rule.Hi, v))
+			} else {
+				rep.CellsNulled++
+				cont[rule.Column] = math.NaN()
+			}
+		}
+		// Duplicate elimination (after repair, so repaired twins collapse).
+		if policy.DropDuplicates {
+			key := rowKey(cat, cont, raw.Y[i])
+			if seen[key] {
+				rep.DuplicatesDropped++
+				continue
+			}
+			seen[key] = true
+		}
+		if cat != nil {
+			out.Cat = append(out.Cat, cat)
+		}
+		if cont != nil {
+			out.Cont = append(out.Cont, cont)
+		}
+		out.Y = append(out.Y, raw.Y[i])
+	}
+	rep.RowsOut = out.NumSamples()
+	// Missing-cell accounting.
+	for i := 0; i < out.NumSamples(); i++ {
+		if len(out.Cat) > 0 {
+			for _, v := range out.Cat[i] {
+				if v == -1 {
+					rep.MissingCells++
+				}
+			}
+		}
+		if len(out.Cont) > 0 {
+			for _, v := range out.Cont[i] {
+				if math.IsNaN(v) {
+					rep.MissingCells++
+				}
+			}
+		}
+	}
+	return out, rep, nil
+}
+
+// rowKey builds a hashable identity for duplicate detection. NaN cells are
+// normalized so two rows missing the same cell compare equal.
+func rowKey(cat []int, cont []float64, y int) string {
+	key := fmt.Sprintf("y=%d", y)
+	for _, v := range cat {
+		key += fmt.Sprintf("|c%d", v)
+	}
+	for _, v := range cont {
+		if math.IsNaN(v) {
+			key += "|NaN"
+		} else {
+			key += fmt.Sprintf("|%g", v)
+		}
+	}
+	return key
+}

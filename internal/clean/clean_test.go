@@ -1,0 +1,162 @@
+package clean
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gmreg/internal/data"
+)
+
+func dirtyTable() *data.RawTable {
+	return &data.RawTable{
+		Cards:         []int{3},
+		HasMissingCat: true,
+		Cat: [][]int{
+			{0}, {1}, {7}, {0}, {-1},
+		},
+		Cont: [][]float64{
+			{10}, {250}, {40}, {10}, {math.NaN()},
+		},
+		Y: []int{0, 1, 1, 0, 1},
+	}
+}
+
+func TestCleanDomainAndRange(t *testing.T) {
+	raw := dirtyTable()
+	out, rep, err := Clean(raw, Policy{
+		EnforceCategoricalDomain: true,
+		Ranges:                   []RangeRule{{Column: 0, Lo: 0, Hi: 120}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DomainViolations != 1 {
+		t.Errorf("domain violations %d, want 1 (the value 7)", rep.DomainViolations)
+	}
+	if rep.RangeViolations != 1 {
+		t.Errorf("range violations %d, want 1 (the value 250)", rep.RangeViolations)
+	}
+	// The bad category became missing; the bad range cell became NaN.
+	if out.Cat[2][0] != -1 {
+		t.Errorf("domain violation not nulled: %d", out.Cat[2][0])
+	}
+	if !math.IsNaN(out.Cont[1][0]) {
+		t.Errorf("range violation not nulled: %v", out.Cont[1][0])
+	}
+	// Missing cells: original -1 + NaN, plus two repairs.
+	if rep.MissingCells != 4 {
+		t.Errorf("missing cells %d, want 4", rep.MissingCells)
+	}
+	// The input was not modified.
+	if raw.Cat[2][0] != 7 || raw.Cont[1][0] != 250 {
+		t.Error("Clean mutated its input")
+	}
+}
+
+func TestCleanClampRepair(t *testing.T) {
+	raw := dirtyTable()
+	out, rep, err := Clean(raw, Policy{
+		Ranges: []RangeRule{{Column: 0, Lo: 0, Hi: 120, Clamp: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellsClamped != 1 || rep.CellsNulled != 0 {
+		t.Fatalf("repairs = %d clamped / %d nulled, want 1/0", rep.CellsClamped, rep.CellsNulled)
+	}
+	if out.Cont[1][0] != 120 {
+		t.Fatalf("clamped value = %v, want 120", out.Cont[1][0])
+	}
+}
+
+func TestCleanDropDuplicates(t *testing.T) {
+	raw := dirtyTable()
+	out, rep, err := Clean(raw, Policy{DropDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0 and 3 are identical.
+	if rep.DuplicatesDropped != 1 {
+		t.Fatalf("duplicates dropped %d, want 1", rep.DuplicatesDropped)
+	}
+	if out.NumSamples() != 4 || rep.RowsOut != 4 {
+		t.Fatalf("rows out %d, want 4", out.NumSamples())
+	}
+}
+
+func TestCleanRepairedTwinsCollapse(t *testing.T) {
+	// Two rows that become identical only after clamping must deduplicate.
+	raw := &data.RawTable{
+		Cont: [][]float64{{500}, {120}},
+		Y:    []int{1, 1},
+	}
+	out, rep, err := Clean(raw, Policy{
+		DropDuplicates: true,
+		Ranges:         []RangeRule{{Column: 0, Lo: 0, Hi: 120, Clamp: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumSamples() != 1 || rep.DuplicatesDropped != 1 {
+		t.Fatalf("repaired twins not collapsed: %d rows", out.NumSamples())
+	}
+}
+
+func TestCleanErrors(t *testing.T) {
+	raw := dirtyTable()
+	if _, _, err := Clean(raw, Policy{Ranges: []RangeRule{{Column: 5, Lo: 0, Hi: 1}}}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, _, err := Clean(raw, Policy{Ranges: []RangeRule{{Column: 0, Lo: 2, Hi: 1}}}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestCleanedTableEncodes(t *testing.T) {
+	// End-to-end: a cleaned table must flow through the preprocessing
+	// pipeline without NaNs surviving.
+	raw := dirtyTable()
+	out, _, err := Clean(raw, Policy{
+		DropDuplicates:           true,
+		EnforceCategoricalDomain: true,
+		Ranges:                   []RangeRule{{Column: 0, Lo: 0, Hi: 120}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, out.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	enc := data.FitEncoder(out, rows)
+	task := enc.Encode("cleaned", out)
+	for _, row := range task.X {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite value after clean + encode")
+			}
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{RowsIn: 10, RowsOut: 9, DuplicatesDropped: 1}
+	if !strings.Contains(rep.String(), "10→9 rows") {
+		t.Fatalf("report = %q", rep.String())
+	}
+}
+
+func TestNaNCellsCompareEqualForDedup(t *testing.T) {
+	raw := &data.RawTable{
+		Cont: [][]float64{{math.NaN()}, {math.NaN()}},
+		Y:    []int{0, 0},
+	}
+	out, rep, err := Clean(raw, Policy{DropDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumSamples() != 1 || rep.DuplicatesDropped != 1 {
+		t.Fatal("NaN rows did not deduplicate")
+	}
+}

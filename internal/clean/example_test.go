@@ -1,0 +1,29 @@
+package clean_test
+
+import (
+	"fmt"
+
+	"gmreg/internal/clean"
+	"gmreg/internal/data"
+)
+
+// Rule-based cleaning: duplicates collapse, impossible values become missing
+// (for downstream imputation), and the report says exactly what happened.
+func ExampleClean() {
+	raw := &data.RawTable{
+		Cont: [][]float64{
+			{37.2}, {41.5}, // 41.5°C: beyond the plausible range
+			{37.2}, // duplicate of row 0
+		},
+		Y: []int{0, 1, 0},
+	}
+	cleaned, report, _ := clean.Clean(raw, clean.Policy{
+		DropDuplicates: true,
+		Ranges:         []clean.RangeRule{{Column: 0, Lo: 30, Hi: 41}},
+	})
+	fmt.Println(report)
+	fmt.Printf("rows kept: %d\n", cleaned.NumSamples())
+	// Output:
+	// clean: 3→2 rows (1 duplicates), 1 range + 0 domain violations (0 clamped, 1 nulled), 1 missing cells
+	// rows kept: 2
+}

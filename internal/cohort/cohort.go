@@ -1,0 +1,196 @@
+// Package cohort is the cohort-analysis substrate standing in for CohAna in
+// the paper's GEMINI stack (Fig. 1): given a patient-level table, it selects
+// a birth cohort by predicate, segments it along a feature, and aggregates
+// an outcome per segment — the select/segment/aggregate shape of cohort
+// query processing (Jiang et al., "Cohort query processing", VLDB 2016,
+// the paper's reference [21]).
+package cohort
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Table is a column-named view over a dense sample matrix — the shape
+// data.Task produces. Rows are patients (or cases), columns are features,
+// Outcome is the per-row label or measure being analysed.
+type Table struct {
+	Columns []string
+	Rows    [][]float64
+	Outcome []float64
+}
+
+// NewTable builds a table, validating that every row matches the column
+// count and the outcome length matches the row count.
+func NewTable(columns []string, rows [][]float64, outcome []float64) (*Table, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("cohort: no columns")
+	}
+	if len(rows) != len(outcome) {
+		return nil, fmt.Errorf("cohort: %d rows but %d outcomes", len(rows), len(outcome))
+	}
+	for i, r := range rows {
+		if len(r) != len(columns) {
+			return nil, fmt.Errorf("cohort: row %d has %d values, want %d", i, len(r), len(columns))
+		}
+	}
+	return &Table{Columns: columns, Rows: rows, Outcome: outcome}, nil
+}
+
+// columnIndex resolves a column name.
+func (t *Table) columnIndex(name string) (int, error) {
+	for i, c := range t.Columns {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cohort: unknown column %q", name)
+}
+
+// Predicate selects rows into the cohort.
+type Predicate func(row []float64) bool
+
+// Query is a fluent cohort query: Select → SegmentBy → Run.
+type Query struct {
+	table   *Table
+	pred    Predicate
+	segCol  string
+	segBins int
+	err     error
+}
+
+// Select starts a query over the cohort defined by pred (nil = all rows).
+func (t *Table) Select(pred Predicate) *Query {
+	return &Query{table: t, pred: pred, segBins: 1}
+}
+
+// SegmentBy splits the cohort into bins equal-width segments of the named
+// column's observed range within the cohort.
+func (q *Query) SegmentBy(column string, bins int) *Query {
+	if q.err != nil {
+		return q
+	}
+	if bins < 1 {
+		q.err = fmt.Errorf("cohort: need at least 1 segment, got %d", bins)
+		return q
+	}
+	q.segCol = column
+	q.segBins = bins
+	return q
+}
+
+// Segment is one aggregated segment of the cohort.
+type Segment struct {
+	// Label describes the segment range, e.g. "age ∈ [40.0, 55.0)".
+	Label string
+	// Lo and Hi bound the segmenting column (the full range when the query
+	// has no SegmentBy).
+	Lo, Hi float64
+	// Count is the number of cohort rows in the segment.
+	Count int
+	// MeanOutcome and StdOutcome aggregate the outcome within the segment.
+	MeanOutcome, StdOutcome float64
+}
+
+// Result is the outcome of a cohort query.
+type Result struct {
+	// CohortSize is the number of rows selected.
+	CohortSize int
+	// Segments are ordered by their segment range.
+	Segments []Segment
+}
+
+// Run executes the query.
+func (q *Query) Run() (*Result, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	t := q.table
+	var rows []int
+	for i, r := range t.Rows {
+		if q.pred == nil || q.pred(r) {
+			rows = append(rows, i)
+		}
+	}
+	res := &Result{CohortSize: len(rows)}
+	if len(rows) == 0 {
+		return res, nil
+	}
+
+	segIdx := -1
+	lo, hi := math.Inf(1), math.Inf(-1)
+	if q.segCol != "" {
+		var err error
+		if segIdx, err = t.columnIndex(q.segCol); err != nil {
+			return nil, err
+		}
+		for _, i := range rows {
+			v := t.Rows[i][segIdx]
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	} else {
+		lo, hi = 0, 0
+	}
+
+	bins := q.segBins
+	width := (hi - lo) / float64(bins)
+	if width == 0 {
+		bins = 1
+	}
+	type acc struct {
+		n     int
+		sum   float64
+		sumSq float64
+	}
+	accs := make([]acc, bins)
+	for _, i := range rows {
+		b := 0
+		if segIdx >= 0 && width > 0 {
+			b = int((t.Rows[i][segIdx] - lo) / width)
+			if b >= bins {
+				b = bins - 1 // the max value lands in the last bin
+			}
+		}
+		y := t.Outcome[i]
+		accs[b].n++
+		accs[b].sum += y
+		accs[b].sumSq += y * y
+	}
+	for b, a := range accs {
+		segLo := lo + float64(b)*width
+		segHi := segLo + width
+		label := "all"
+		if segIdx >= 0 {
+			label = fmt.Sprintf("%s ∈ [%.3g, %.3g)", q.segCol, segLo, segHi)
+		}
+		seg := Segment{Label: label, Lo: segLo, Hi: segHi, Count: a.n}
+		if a.n > 0 {
+			seg.MeanOutcome = a.sum / float64(a.n)
+			variance := a.sumSq/float64(a.n) - seg.MeanOutcome*seg.MeanOutcome
+			if variance > 0 {
+				seg.StdOutcome = math.Sqrt(variance)
+			}
+		}
+		res.Segments = append(res.Segments, seg)
+	}
+	return res, nil
+}
+
+// TopSegments returns the k segments with the highest mean outcome (at least
+// minCount rows each), most extreme first — the "which cohort is at risk"
+// view of the healthcare use case.
+func (r *Result) TopSegments(k, minCount int) []Segment {
+	var segs []Segment
+	for _, s := range r.Segments {
+		if s.Count >= minCount {
+			segs = append(segs, s)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].MeanOutcome > segs[b].MeanOutcome })
+	if k < len(segs) {
+		segs = segs[:k]
+	}
+	return segs
+}

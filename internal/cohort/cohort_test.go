@@ -1,0 +1,150 @@
+package cohort
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	// Columns: age, risk-score. Outcome: readmitted (0/1).
+	tbl, err := NewTable(
+		[]string{"age", "risk"},
+		[][]float64{
+			{30, 0.1}, {35, 0.2}, {42, 0.5}, {48, 0.4},
+			{55, 0.7}, {61, 0.8}, {67, 0.9}, {72, 0.95},
+		},
+		[]float64{0, 0, 0, 1, 1, 1, 1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(nil, nil, nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewTable([]string{"a"}, [][]float64{{1}}, nil); err == nil {
+		t.Error("outcome length mismatch accepted")
+	}
+	if _, err := NewTable([]string{"a"}, [][]float64{{1, 2}}, []float64{0}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestSelectAllSingleSegment(t *testing.T) {
+	res, err := sampleTable(t).Select(nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CohortSize != 8 || len(res.Segments) != 1 {
+		t.Fatalf("cohort %d, segments %d", res.CohortSize, len(res.Segments))
+	}
+	s := res.Segments[0]
+	if s.Count != 8 || math.Abs(s.MeanOutcome-5.0/8) > 1e-12 {
+		t.Fatalf("segment = %+v", s)
+	}
+}
+
+func TestPredicateSelectsCohort(t *testing.T) {
+	tbl := sampleTable(t)
+	res, err := tbl.Select(func(row []float64) bool { return row[0] >= 50 }).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CohortSize != 4 {
+		t.Fatalf("cohort size %d, want 4 (age ≥ 50)", res.CohortSize)
+	}
+	if res.Segments[0].MeanOutcome != 1 {
+		t.Fatalf("elderly cohort mean outcome %v, want 1", res.Segments[0].MeanOutcome)
+	}
+}
+
+func TestSegmentByBinsAndCounts(t *testing.T) {
+	tbl := sampleTable(t)
+	res, err := tbl.Select(nil).SegmentBy("age", 2).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 2 {
+		t.Fatalf("%d segments, want 2", len(res.Segments))
+	}
+	// Range 30..72, split at 51: first bin 4 rows (30,35,42,48), second 4.
+	if res.Segments[0].Count != 4 || res.Segments[1].Count != 4 {
+		t.Fatalf("segment counts %d/%d, want 4/4",
+			res.Segments[0].Count, res.Segments[1].Count)
+	}
+	// Readmission climbs with age.
+	if res.Segments[0].MeanOutcome >= res.Segments[1].MeanOutcome {
+		t.Fatalf("outcome gradient lost: %v vs %v",
+			res.Segments[0].MeanOutcome, res.Segments[1].MeanOutcome)
+	}
+	// Max value (72) lands in the last bin, not out of range.
+	total := res.Segments[0].Count + res.Segments[1].Count
+	if total != 8 {
+		t.Fatalf("rows lost during binning: %d", total)
+	}
+}
+
+func TestSegmentByUnknownColumn(t *testing.T) {
+	if _, err := sampleTable(t).Select(nil).SegmentBy("nope", 2).Run(); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestSegmentByZeroBins(t *testing.T) {
+	if _, err := sampleTable(t).Select(nil).SegmentBy("age", 0).Run(); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestEmptyCohort(t *testing.T) {
+	res, err := sampleTable(t).Select(func([]float64) bool { return false }).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CohortSize != 0 || len(res.Segments) != 0 {
+		t.Fatalf("empty cohort produced %+v", res)
+	}
+}
+
+func TestConstantSegmentColumn(t *testing.T) {
+	tbl, _ := NewTable([]string{"x"}, [][]float64{{1}, {1}, {1}}, []float64{0, 1, 1})
+	res, err := tbl.Select(nil).SegmentBy("x", 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-width range collapses to one segment holding everything.
+	if len(res.Segments) != 1 || res.Segments[0].Count != 3 {
+		t.Fatalf("constant column segments = %+v", res.Segments)
+	}
+}
+
+func TestTopSegments(t *testing.T) {
+	res, err := sampleTable(t).Select(nil).SegmentBy("age", 4).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopSegments(2, 1)
+	if len(top) != 2 {
+		t.Fatalf("%d top segments, want 2", len(top))
+	}
+	if top[0].MeanOutcome < top[1].MeanOutcome {
+		t.Fatal("top segments not sorted by outcome")
+	}
+	// minCount filters sparse segments.
+	none := res.TopSegments(5, 100)
+	if len(none) != 0 {
+		t.Fatalf("minCount filter failed: %+v", none)
+	}
+}
+
+func TestStdOutcome(t *testing.T) {
+	tbl, _ := NewTable([]string{"x"}, [][]float64{{0}, {0}, {0}, {0}}, []float64{0, 0, 1, 1})
+	res, _ := tbl.Select(nil).Run()
+	if math.Abs(res.Segments[0].StdOutcome-0.5) > 1e-12 {
+		t.Fatalf("std = %v, want 0.5", res.Segments[0].StdOutcome)
+	}
+}

@@ -1,0 +1,28 @@
+package cohort_test
+
+import (
+	"fmt"
+
+	"gmreg/internal/cohort"
+)
+
+// Which age band readmits most? Select a cohort, segment it, aggregate the
+// outcome — the CohAna query shape.
+func Example() {
+	tbl, _ := cohort.NewTable(
+		[]string{"age"},
+		[][]float64{{25}, {35}, {45}, {55}, {65}, {75}},
+		[]float64{0, 0, 0, 1, 1, 1}, // readmitted
+	)
+	res, _ := tbl.Select(func(row []float64) bool { return row[0] >= 30 }).
+		SegmentBy("age", 2).
+		Run()
+	fmt.Printf("cohort: %d patients\n", res.CohortSize)
+	for _, s := range res.Segments {
+		fmt.Printf("%s: n=%d readmission %.2f\n", s.Label, s.Count, s.MeanOutcome)
+	}
+	// Output:
+	// cohort: 5 patients
+	// age ∈ [35, 55): n=2 readmission 0.00
+	// age ∈ [55, 75): n=3 readmission 1.00
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+// alexM is the Alex-CIFAR-10 parameter dimensionality (§V-A) — the workload
+// size the paper's lazy-update timings are about.
+const alexM = 89440
+
+func benchGM(b *testing.B, k int) (*GM, []float64) {
+	b.Helper()
+	cfg := DefaultConfig(0.1)
+	cfg.K = k
+	g := MustNewGM(alexM, cfg)
+	rng := tensor.NewRNG(1)
+	w := make([]float64, alexM)
+	for i := range w {
+		if i%5 == 0 {
+			w[i] = 0.4 * rng.NormFloat64()
+		} else {
+			w[i] = 0.05 * rng.NormFloat64()
+		}
+	}
+	return g, w
+}
+
+// BenchmarkEStep measures one full responsibility computation plus greg
+// (Eqs. 9–10) over the Alex-sized parameter vector — the per-iteration cost
+// the lazy update amortizes.
+func BenchmarkEStep(b *testing.B) {
+	g, w := benchGM(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CalResponsibility(w)
+		g.CalcRegGrad(w)
+	}
+	b.SetBytes(int64(8 * alexM))
+}
+
+// BenchmarkEStepK2 is the same after merging down to two components — the
+// paper's typical converged state.
+func BenchmarkEStepK2(b *testing.B) {
+	g, w := benchGM(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CalResponsibility(w)
+		g.CalcRegGrad(w)
+	}
+	b.SetBytes(int64(8 * alexM))
+}
+
+// BenchmarkMStep measures the closed-form parameter update (Eqs. 13, 17).
+func BenchmarkMStep(b *testing.B) {
+	g, w := benchGM(b, 4)
+	g.CalResponsibility(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.UptGMParam()
+	}
+}
+
+// BenchmarkGradFull measures Algorithm 2's loop body with Im=Ig=1 (every
+// iteration does full work).
+func BenchmarkGradFull(b *testing.B) {
+	g, w := benchGM(b, 4)
+	dst := make([]float64, alexM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Grad(w, dst)
+	}
+	b.SetBytes(int64(8 * alexM))
+}
+
+// BenchmarkGradLazy50 measures the amortized per-iteration cost with the
+// paper's Im=Ig=50 schedule — the Fig. 5 headline in microbenchmark form.
+func BenchmarkGradLazy50(b *testing.B) {
+	cfg := DefaultConfig(0.1)
+	cfg.WarmupEpochs = 0
+	cfg.RegInterval = 50
+	cfg.GMInterval = 50
+	g := MustNewGM(alexM, cfg)
+	rng := tensor.NewRNG(2)
+	w := make([]float64, alexM)
+	rng.FillNormal(w, 0, 0.1)
+	dst := make([]float64, alexM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Grad(w, dst)
+	}
+	b.SetBytes(int64(8 * alexM))
+}
+
+// BenchmarkPenalty measures the negative-log-prior evaluation.
+func BenchmarkPenalty(b *testing.B) {
+	g, w := benchGM(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Penalty(w)
+	}
+	b.SetBytes(int64(8 * alexM))
+}
+
+// BenchmarkFitSmall measures offline EM to convergence on a 10k-dim vector.
+func BenchmarkFitSmall(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	const m = 10000
+	w := make([]float64, m)
+	for i := range w {
+		if i%4 == 0 {
+			w[i] = 0.5 * rng.NormFloat64()
+		} else {
+			w[i] = 0.05 * rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := MustNewGM(m, DefaultConfig(0.1))
+		g.Fit(w, 100, 1e-8)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Density returns the mixture probability density p(x) = Σ_k π_k N(x|0,λ_k)
+// under the current GM parameters.
+func (g *GM) Density(x float64) float64 {
+	var p float64
+	for i := range g.pi {
+		p += g.pi[i] * math.Exp(gaussLogPDF(x, g.lambda[i]))
+	}
+	return p
+}
+
+// ComponentDensity returns π_k·N(x|0,λ_k) for component k.
+func (g *GM) ComponentDensity(k int, x float64) float64 {
+	return g.pi[k] * math.Exp(gaussLogPDF(x, g.lambda[k]))
+}
+
+// DensitySeries evaluates the mixture density over n evenly spaced points in
+// [lo, hi] and returns the abscissae and densities. This regenerates the
+// curves of Fig. 3.
+func (g *GM) DensitySeries(lo, hi float64, n int) (xs, ps []float64) {
+	if n < 2 {
+		n = 2
+	}
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		xs[i] = x
+		ps[i] = g.Density(x)
+	}
+	return xs, ps
+}
+
+// Crossovers returns the positive abscissae at which consecutive (by
+// precision) components have equal weighted density — the A/B points of
+// Fig. 3, where dominance switches from the small-variance (noise) component
+// to the large-variance (signal) component. For a two-component mixture the
+// result has one entry; the mirrored negative point is implied by symmetry.
+//
+// Setting π_i·N(x|0,λ_i) = π_j·N(x|0,λ_j) and solving for x² gives
+//
+//	x² = (2·ln(π_i/π_j) + ln(λ_i/λ_j)) / (λ_i − λ_j).
+//
+// Pairs with no real solution (one component dominates everywhere) are
+// skipped.
+func (g *GM) Crossovers() []float64 {
+	k := len(g.pi)
+	if k < 2 {
+		return nil
+	}
+	// Order components by decreasing precision (noise component first).
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return g.lambda[idx[a]] > g.lambda[idx[b]] })
+	var xs []float64
+	for n := 0; n < k-1; n++ {
+		i, j := idx[n], idx[n+1]
+		dl := g.lambda[i] - g.lambda[j]
+		if dl == 0 {
+			continue
+		}
+		x2 := (2*math.Log(g.pi[i]/g.pi[j]) + math.Log(g.lambda[i]/g.lambda[j])) / dl
+		if x2 <= 0 || math.IsNaN(x2) || math.IsInf(x2, 0) {
+			continue
+		}
+		xs = append(xs, math.Sqrt(x2))
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// EffectiveStrength returns the pointwise regularization strength
+// Σ_k r_k(x)·λ_k at parameter value x — the coefficient multiplying w in
+// Eq. 10. It is large near zero (the high-precision component dominates) and
+// small for large |x|, which is the mechanism §III-C2 describes.
+func (g *GM) EffectiveStrength(x float64) float64 {
+	r := g.Responsibility(x)
+	var s float64
+	for i := range r {
+		s += r[i] * g.lambda[i]
+	}
+	return s
+}

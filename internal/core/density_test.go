@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+// twoComponentGM builds a GM and forces it into a known two-component state
+// by fitting data generated from that state.
+func twoComponentGM(t *testing.T) *GM {
+	t.Helper()
+	rng := tensor.NewRNG(21)
+	const m = 5000
+	w := make([]float64, m)
+	for i := range w {
+		if rng.Float64() < 0.65 {
+			w[i] = 0.06 * rng.NormFloat64()
+		} else {
+			w[i] = 0.8 * rng.NormFloat64()
+		}
+	}
+	g := MustNewGM(m, testConfig())
+	g.Fit(w, 400, 1e-9)
+	if g.K() != 2 {
+		t.Fatalf("fixture expected 2 components, got %d (λ=%v)", g.K(), g.Lambda())
+	}
+	return g
+}
+
+func TestDensityIsNormalized(t *testing.T) {
+	g := twoComponentGM(t)
+	// Trapezoidal integration of the mixture density over a wide interval.
+	const lo, hi = -10.0, 10.0
+	const n = 20001
+	step := (hi - lo) / float64(n-1)
+	var integral float64
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*step
+		wgt := 1.0
+		if i == 0 || i == n-1 {
+			wgt = 0.5
+		}
+		integral += wgt * g.Density(x) * step
+	}
+	if math.Abs(integral-1) > 1e-3 {
+		t.Fatalf("mixture density integrates to %v, want 1", integral)
+	}
+}
+
+func TestDensitySeriesShape(t *testing.T) {
+	g := twoComponentGM(t)
+	xs, ps := g.DensitySeries(-2, 2, 101)
+	if len(xs) != 101 || len(ps) != 101 {
+		t.Fatalf("series lengths %d/%d, want 101", len(xs), len(ps))
+	}
+	if xs[0] != -2 || xs[100] != 2 {
+		t.Fatalf("series endpoints %v..%v, want -2..2", xs[0], xs[100])
+	}
+	// Zero-mean mixture: the peak must be at x=0 and the curve symmetric.
+	mid := 50
+	for i := range ps {
+		if ps[i] > ps[mid]+1e-12 {
+			t.Fatalf("density peak not at 0: p(%v)=%v > p(0)=%v", xs[i], ps[i], ps[mid])
+		}
+	}
+	for i := 0; i <= mid; i++ {
+		if math.Abs(ps[i]-ps[100-i]) > 1e-9 {
+			t.Fatalf("density not symmetric at ±%v", xs[100-i])
+		}
+	}
+	// Degenerate n is clamped.
+	xs, _ = g.DensitySeries(0, 1, 1)
+	if len(xs) != 2 {
+		t.Fatal("n<2 must clamp to 2 points")
+	}
+}
+
+// At a crossover point the two components' weighted densities must be equal;
+// inside it the high-precision component dominates, outside the low-precision
+// one does (the A/B points of Fig. 3).
+func TestCrossoversSeparateDominanceRegions(t *testing.T) {
+	g := twoComponentGM(t)
+	xs := g.Crossovers()
+	if len(xs) != 1 {
+		t.Fatalf("two-component GM must have one positive crossover, got %v", xs)
+	}
+	x := xs[0]
+	lam := g.Lambda()
+	hi, lo := 0, 1
+	if lam[lo] > lam[hi] {
+		hi, lo = lo, hi
+	}
+	dHi := g.ComponentDensity(hi, x)
+	dLo := g.ComponentDensity(lo, x)
+	if math.Abs(dHi-dLo) > 1e-9*(dHi+dLo) {
+		t.Fatalf("component densities differ at crossover: %v vs %v", dHi, dLo)
+	}
+	if g.ComponentDensity(hi, x/2) <= g.ComponentDensity(lo, x/2) {
+		t.Fatal("high-precision component must dominate inside the crossover")
+	}
+	if g.ComponentDensity(hi, 2*x) >= g.ComponentDensity(lo, 2*x) {
+		t.Fatal("low-precision component must dominate outside the crossover")
+	}
+}
+
+func TestCrossoversSingleComponent(t *testing.T) {
+	cfg := testConfig()
+	cfg.K = 1
+	g := MustNewGM(10, cfg)
+	if xs := g.Crossovers(); xs != nil {
+		t.Fatalf("single component has no crossover, got %v", xs)
+	}
+}
+
+// §III-C2: regularization is strong for small parameters and weak for large
+// ones. EffectiveStrength must therefore be non-increasing in |x|.
+func TestEffectiveStrengthDecreasesWithMagnitude(t *testing.T) {
+	g := twoComponentGM(t)
+	prev := g.EffectiveStrength(0)
+	for x := 0.05; x <= 3.0; x += 0.05 {
+		cur := g.EffectiveStrength(x)
+		if cur > prev+1e-9 {
+			t.Fatalf("effective strength rose at |x|=%v: %v -> %v", x, prev, cur)
+		}
+		prev = cur
+	}
+	// And the extremes straddle the component precisions.
+	lam := g.Lambda()
+	maxLam := math.Max(lam[0], lam[1])
+	minLam := math.Min(lam[0], lam[1])
+	if s := g.EffectiveStrength(0); math.Abs(s-maxLam)/maxLam > 0.15 {
+		t.Errorf("strength at 0 = %v, want ≈ max λ = %v", s, maxLam)
+	}
+	if s := g.EffectiveStrength(5); math.Abs(s-minLam)/minLam > 0.15 {
+		t.Errorf("strength at 5 = %v, want ≈ min λ = %v", s, minLam)
+	}
+}
+
+func TestResponsibilityScalarSumsToOne(t *testing.T) {
+	g := twoComponentGM(t)
+	for _, x := range []float64{-3, -0.5, 0, 0.01, 0.5, 3} {
+		r := g.Responsibility(x)
+		var s float64
+		for _, v := range r {
+			if v < 0 || v > 1 {
+				t.Fatalf("responsibility out of range at x=%v: %v", x, r)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("responsibilities at x=%v sum to %v", x, s)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package core_test
+
+import (
+	"fmt"
+
+	"gmreg/internal/core"
+)
+
+// The paper's three tool functions (§IV) drive one EM round by hand:
+// calResponsibility → calcRegGrad → uptGMParam.
+func ExampleGM_CalResponsibility() {
+	w := []float64{0.01, -0.02, 0.5, 0.01, -0.6, 0.015}
+	g := core.MustNewGM(len(w), core.DefaultConfig(0.1))
+	for i := 0; i < 50; i++ {
+		g.CalResponsibility(w)
+		g.UptGMParam()
+	}
+	fmt.Printf("components after EM: %d\n", g.K())
+	// The near-zero dimension is claimed by the high-precision component.
+	r := g.Responsibility(0.01)
+	fmt.Printf("P(noise component | w=0.01) = %.2f\n", r[len(r)-1])
+	// Output:
+	// components after EM: 2
+	// P(noise component | w=0.01) = 0.92
+}
+
+// The lazy-update schedule (Algorithm 2) amortizes the EM work.
+func ExampleGM_Grad() {
+	cfg := core.DefaultConfig(0.1)
+	cfg.WarmupEpochs = 1
+	cfg.RegInterval = 10 // Im
+	cfg.GMInterval = 10  // Ig
+	cfg.BatchesPerEpoch = 5
+	g := core.MustNewGM(4, cfg)
+	w := []float64{0.1, -0.1, 0.2, -0.2}
+	dst := make([]float64, 4)
+	for it := 0; it < 55; it++ {
+		g.Grad(w, dst) // one Algorithm 2 loop body per call
+	}
+	e, m := g.Steps()
+	fmt.Printf("iterations: 55, full E-steps: %d, M-steps: %d\n", e, m)
+	// Output:
+	// iterations: 55, full E-steps: 10, M-steps: 10
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzResponsibilityStability drives the E-step with adversarial parameter
+// values (huge, tiny, denormal) and checks the invariants that matter for
+// training stability: responsibilities stay finite and normalized, and greg
+// stays finite.
+func FuzzResponsibilityStability(f *testing.F) {
+	f.Add(0.5, -0.3, 1e-12, 100.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(1e8, -1e8, 1e-300, -1e-300)
+	f.Add(math.MaxFloat64/1e10, 1.0, -2.0, 3.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip("out of the supported parameter range")
+			}
+		}
+		g := MustNewGM(4, DefaultConfig(0.1))
+		w := []float64{a, b, c, d}
+		g.CalResponsibility(w)
+		for dim := 0; dim < 4; dim++ {
+			var sum float64
+			for k := 0; k < g.K(); k++ {
+				r := g.resp[k][dim]
+				if math.IsNaN(r) || r < 0 || r > 1+1e-12 {
+					t.Fatalf("responsibility out of range at dim %d: %v (w=%v)", dim, r, w)
+				}
+				sum += r
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("responsibilities at dim %d sum to %v (w=%v)", dim, sum, w)
+			}
+		}
+		g.CalcRegGrad(w)
+		for dim, v := range g.greg {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("greg[%d] = %v for w=%v", dim, v, w)
+			}
+		}
+		g.UptGMParam()
+		for k, l := range g.lambda {
+			if math.IsNaN(l) || l <= 0 {
+				t.Fatalf("λ[%d] = %v after M-step for w=%v", k, l, w)
+			}
+		}
+	})
+}
+
+// FuzzSnapshotRoundTrip checks that any valid mixture state survives the
+// snapshot/restore cycle bit-exactly.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(0.3, 10.0, 200.0)
+	f.Add(0.999, 0.001, 1e6)
+	f.Fuzz(func(t *testing.T, pi0, lam0, lam1 float64) {
+		if math.IsNaN(pi0) || pi0 <= 0 || pi0 >= 1 {
+			t.Skip()
+		}
+		for _, l := range []float64{lam0, lam1} {
+			if math.IsNaN(l) || math.IsInf(l, 0) || l <= 0 {
+				t.Skip()
+			}
+		}
+		g := MustNewGM(10, DefaultConfig(0.1))
+		snap := g.Snapshot()
+		snap.Pi = []float64{pi0, 1 - pi0}
+		snap.Lambda = []float64{lam0, lam1}
+		snap.Alpha = []float64{2, 2}
+		restored, err := FromSnapshot(snap)
+		if err != nil {
+			t.Fatalf("valid snapshot rejected: %v", err)
+		}
+		again := restored.Snapshot()
+		if again.Pi[0] != pi0 || again.Lambda[0] != lam0 || again.Lambda[1] != lam1 {
+			t.Fatal("round trip changed the mixture")
+		}
+	})
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// GM is the adaptive Gaussian-Mixture regularizer for one parameter group
+// (e.g. one layer's weight matrix, flattened). It is stateful: Grad advances
+// the lazy-update schedule one iteration per call, exactly like one pass of
+// Algorithm 2's loop body (E-step, gradient, M-step).
+//
+// GM implements the same Regularizer surface as the fixed baselines
+// (Name / Grad / Penalty), so trainers can treat adaptive and fixed
+// regularization uniformly. It additionally exposes the paper's tool API:
+// CalResponsibility, CalcRegGrad and UptGMParam.
+//
+// GM is not safe for concurrent use; each parameter group owns its own GM.
+type GM struct {
+	cfg Config
+	m   int // parameter dimensions
+
+	// Mixture parameters.
+	pi     []float64
+	lambda []float64
+
+	// Hyper-prior parameters.
+	a     float64
+	b     float64
+	alpha []float64
+
+	// Scratch and cache.
+	resp   [][]float64 // K × M responsibilities from the last E-step
+	greg   []float64   // cached regularization gradient
+	sumR   []float64   // Σ_m r_k(w_m) per component
+	sumRW2 []float64   // Σ_m r_k(w_m)·w_m² per component
+
+	// Lazy-update bookkeeping (Algorithm 2).
+	it      int
+	epochIt int
+
+	// Counters for instrumentation.
+	eSteps int
+	mSteps int
+}
+
+// NewGM builds a GM regularizer for a parameter group with m dimensions.
+func NewGM(m int, cfg Config) (*GM, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: parameter group must have at least 1 dimension, got %d", m)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GM{cfg: cfg, m: m}
+	g.b = cfg.Gamma * float64(m)
+	g.a = 1 + cfg.ARatio*g.b
+	alphaVal := math.Pow(float64(m), cfg.AlphaExponent)
+	g.alpha = make([]float64, cfg.K)
+	for k := range g.alpha {
+		g.alpha[k] = alphaVal
+	}
+	g.pi = make([]float64, cfg.K)
+	g.lambda = make([]float64, cfg.K)
+	for k := range g.pi {
+		g.pi[k] = 1 / float64(cfg.K)
+	}
+	initPrecisions(g.lambda, cfg.Init, cfg.MinPrecision)
+	g.allocScratch()
+	return g, nil
+}
+
+// MustNewGM is NewGM that panics on error; for tests and examples.
+func MustNewGM(m int, cfg Config) *GM {
+	g, err := NewGM(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// allocScratch (re)allocates the K-dependent buffers. The cached greg is
+// allocated once and preserved across component merges so that lazy-update
+// iterations keep returning the last computed gradient.
+func (g *GM) allocScratch() {
+	k := len(g.pi)
+	g.resp = make([][]float64, k)
+	for i := range g.resp {
+		g.resp[i] = make([]float64, g.m)
+	}
+	if g.greg == nil {
+		g.greg = make([]float64, g.m)
+	}
+	g.sumR = make([]float64, k)
+	g.sumRW2 = make([]float64, k)
+}
+
+// initPrecisions fills lambda per the chosen initialization method (§V-E).
+func initPrecisions(lambda []float64, method InitMethod, min float64) {
+	k := len(lambda)
+	switch method {
+	case InitIdentical:
+		for i := range lambda {
+			lambda[i] = min
+		}
+	case InitLinear:
+		if k == 1 {
+			lambda[0] = min
+			return
+		}
+		// Linearly spaced over [min, K·min].
+		step := (float64(k)*min - min) / float64(k-1)
+		for i := range lambda {
+			lambda[i] = min + float64(i)*step
+		}
+	case InitProportional:
+		p := min
+		for i := range lambda {
+			lambda[i] = p
+			p *= 2
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown init method %v", method))
+	}
+}
+
+// Name identifies the regularizer in reports.
+func (g *GM) Name() string { return "GM Reg" }
+
+// K returns the current number of Gaussian components (after merging).
+func (g *GM) K() int { return len(g.pi) }
+
+// M returns the number of parameter dimensions this GM regularizes.
+func (g *GM) M() int { return g.m }
+
+// Pi returns a copy of the current mixing coefficients.
+func (g *GM) Pi() []float64 { return append([]float64(nil), g.pi...) }
+
+// Lambda returns a copy of the current component precisions.
+func (g *GM) Lambda() []float64 { return append([]float64(nil), g.lambda...) }
+
+// Hyper returns the Gamma-prior parameters (a, b) in use.
+func (g *GM) Hyper() (a, b float64) { return g.a, g.b }
+
+// Steps reports how many full E-steps and M-steps have run, for verifying
+// the lazy-update schedule.
+func (g *GM) Steps() (eSteps, mSteps int) { return g.eSteps, g.mSteps }
+
+// SetBatchesPerEpoch wires B of Algorithm 2 once the trainer knows its
+// minibatch count. Trainers call this through the train.EpochAware
+// interface before the first Grad call.
+func (g *GM) SetBatchesPerEpoch(b int) {
+	if b < 1 {
+		b = 1
+	}
+	g.cfg.BatchesPerEpoch = b
+}
+
+// CalResponsibility computes the responsibility r_k(w_m) of every component
+// for every parameter dimension (Eq. 9) into the internal buffer and also
+// accumulates Σ_m r_k and Σ_m r_k·w_m² for the M-step. The computation is
+// done in log space for numerical robustness. This is one of the three key
+// tool functions named in the paper (§IV).
+func (g *GM) CalResponsibility(w []float64) {
+	g.checkDim(w)
+	k := len(g.pi)
+	logPi := make([]float64, k)
+	logLam := make([]float64, k)
+	for i := 0; i < k; i++ {
+		logPi[i] = math.Log(g.pi[i])
+		logLam[i] = 0.5 * math.Log(g.lambda[i])
+	}
+	for i := 0; i < k; i++ {
+		g.sumR[i] = 0
+		g.sumRW2[i] = 0
+	}
+	logp := make([]float64, k)
+	for m, wm := range w {
+		maxLog := math.Inf(-1)
+		for i := 0; i < k; i++ {
+			lp := logPi[i] + logLam[i] - 0.5*g.lambda[i]*wm*wm
+			logp[i] = lp
+			if lp > maxLog {
+				maxLog = lp
+			}
+		}
+		var z float64
+		for i := 0; i < k; i++ {
+			logp[i] = math.Exp(logp[i] - maxLog)
+			z += logp[i]
+		}
+		w2 := wm * wm
+		for i := 0; i < k; i++ {
+			r := logp[i] / z
+			g.resp[i][m] = r
+			g.sumR[i] += r
+			g.sumRW2[i] += r * w2
+		}
+	}
+	g.eSteps++
+}
+
+// CalcRegGrad computes greg (Eq. 10) from the responsibilities of the most
+// recent CalResponsibility call and caches it. The cached gradient is what
+// the lazy-update algorithm reuses between E-steps.
+func (g *GM) CalcRegGrad(w []float64) {
+	g.checkDim(w)
+	for m, wm := range w {
+		var s float64
+		for i := range g.pi {
+			s += g.resp[i][m] * g.lambda[i]
+		}
+		g.greg[m] = s * wm
+	}
+}
+
+// UptGMParam runs one M-step: the closed-form minimizers for λ (Eq. 13) and
+// π (Eq. 17) given the current responsibilities, followed by component
+// merging. This is the third key tool function named in the paper (§IV).
+func (g *GM) UptGMParam() {
+	k := len(g.pi)
+	// Eq. 13 with the Gamma-prior smoothing terms 2(a−1) and 2b.
+	for i := 0; i < k; i++ {
+		g.lambda[i] = (2*(g.a-1) + g.sumR[i]) / (2*g.b + g.sumRW2[i])
+	}
+	// Eq. 17 with the Dirichlet smoothing terms (α_k − 1).
+	var alphaSum float64
+	for i := 0; i < k; i++ {
+		alphaSum += g.alpha[i] - 1
+	}
+	den := float64(g.m) + alphaSum
+	for i := 0; i < k; i++ {
+		g.pi[i] = (g.sumR[i] + (g.alpha[i] - 1)) / den
+	}
+	g.normalizePi()
+	g.mergeComponents()
+	g.mSteps++
+}
+
+// Grad writes the regularization gradient for w into dst, advancing the
+// lazy-update schedule by one iteration (one pass of Algorithm 2's loop
+// body). During the first WarmupEpochs epochs every call performs a full
+// E-step, greg computation and M-step; afterwards the E-step and greg run
+// every RegInterval iterations and the M-step every GMInterval iterations,
+// with the cached greg returned in between.
+func (g *GM) Grad(w, dst []float64) {
+	g.checkDim(w)
+	if len(dst) != g.m {
+		panic(fmt.Sprintf("core: dst has %d dims, want %d", len(dst), g.m))
+	}
+	warm := g.epochIt < g.cfg.WarmupEpochs
+	if warm || g.it%g.cfg.RegInterval == 0 {
+		g.CalResponsibility(w)
+		g.CalcRegGrad(w)
+	}
+	copy(dst, g.greg)
+	if warm || g.it%g.cfg.GMInterval == 0 {
+		// Responsibilities may be stale when GMInterval is not a multiple
+		// of RegInterval; refresh them so the M-step sees current w.
+		if !(warm || g.it%g.cfg.RegInterval == 0) {
+			g.CalResponsibility(w)
+		}
+		g.UptGMParam()
+	}
+	g.it++
+	b := g.cfg.BatchesPerEpoch
+	if b < 1 {
+		b = 1
+	}
+	if g.it%b == 0 {
+		g.epochIt++
+	}
+}
+
+// Penalty returns the negative log of the (unnormalized) GM prior density of
+// w under the current mixture: −Σ_m ln Σ_k π_k N(w_m|0,λ_k). This is the
+// data-independent part of the loss G (Eq. 8) that the regularizer
+// contributes, up to the hyper-prior terms reported by HyperPenalty.
+func (g *GM) Penalty(w []float64) float64 {
+	g.checkDim(w)
+	k := len(g.pi)
+	logPi := make([]float64, k)
+	logLam := make([]float64, k)
+	for i := 0; i < k; i++ {
+		logPi[i] = math.Log(g.pi[i])
+		logLam[i] = 0.5 * math.Log(g.lambda[i])
+	}
+	var nll float64
+	logp := make([]float64, k)
+	for _, wm := range w {
+		maxLog := math.Inf(-1)
+		for i := 0; i < k; i++ {
+			lp := logPi[i] + logLam[i] - 0.5*log2Pi - 0.5*g.lambda[i]*wm*wm
+			logp[i] = lp
+			if lp > maxLog {
+				maxLog = lp
+			}
+		}
+		var z float64
+		for i := 0; i < k; i++ {
+			z += math.Exp(logp[i] - maxLog)
+		}
+		nll -= maxLog + math.Log(z)
+	}
+	return nll
+}
+
+// HyperPenalty returns the negative log density contributed by the Dirichlet
+// and Gamma hyper-priors on (π, λ), up to additive constants.
+func (g *GM) HyperPenalty() float64 {
+	var nll float64
+	for i := range g.pi {
+		nll -= (g.alpha[i] - 1) * math.Log(g.pi[i])
+		nll -= (g.a-1)*math.Log(g.lambda[i]) - g.b*g.lambda[i]
+	}
+	return nll
+}
+
+// Responsibility returns r_k(w) for a single scalar parameter value under
+// the current mixture, without touching internal state. Useful for analysis
+// and plotting.
+func (g *GM) Responsibility(w float64) []float64 {
+	k := len(g.pi)
+	r := make([]float64, k)
+	maxLog := math.Inf(-1)
+	for i := 0; i < k; i++ {
+		lp := math.Log(g.pi[i]) + gaussLogPDF(w, g.lambda[i])
+		r[i] = lp
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	var z float64
+	for i := 0; i < k; i++ {
+		r[i] = math.Exp(r[i] - maxLog)
+		z += r[i]
+	}
+	for i := 0; i < k; i++ {
+		r[i] /= z
+	}
+	return r
+}
+
+// Fit runs full EM on a static parameter vector until the mixture parameters
+// move less than tol between iterations or maxIter is reached, and returns
+// the number of iterations used. It is the offline counterpart of the
+// interleaved updates and is used for analysis (Fig. 3) and tests.
+func (g *GM) Fit(w []float64, maxIter int, tol float64) int {
+	for iter := 1; iter <= maxIter; iter++ {
+		prevPi := append([]float64(nil), g.pi...)
+		prevLam := append([]float64(nil), g.lambda...)
+		g.CalResponsibility(w)
+		g.UptGMParam()
+		if len(g.pi) == len(prevPi) {
+			var delta float64
+			for i := range g.pi {
+				delta += math.Abs(g.pi[i]-prevPi[i]) +
+					math.Abs(g.lambda[i]-prevLam[i])/math.Max(1, prevLam[i])
+			}
+			if delta < tol {
+				return iter
+			}
+		}
+	}
+	return maxIter
+}
+
+// normalizePi rescales π to sum exactly to one and floors tiny negative
+// round-off at zero.
+func (g *GM) normalizePi() {
+	var s float64
+	for i, p := range g.pi {
+		if p < 1e-12 {
+			g.pi[i] = 1e-12
+			p = 1e-12
+		}
+		s += p
+	}
+	for i := range g.pi {
+		g.pi[i] /= s
+	}
+}
+
+// mergeComponents folds together components whose precisions have converged
+// to (nearly) the same value, reproducing the paper's observation that the
+// learned mixture ends with one or two components. Mixing mass is summed and
+// the merged precision is the π-weighted mean.
+func (g *GM) mergeComponents() {
+	if g.cfg.MergeTolerance <= 0 || len(g.pi) == 1 {
+		return
+	}
+	tol := g.cfg.MergeTolerance
+	merged := true
+	for merged {
+		merged = false
+		for i := 0; i < len(g.pi) && !merged; i++ {
+			for j := i + 1; j < len(g.pi); j++ {
+				hi := math.Max(g.lambda[i], g.lambda[j])
+				if math.Abs(g.lambda[i]-g.lambda[j]) > tol*hi {
+					continue
+				}
+				wsum := g.pi[i] + g.pi[j]
+				g.lambda[i] = (g.pi[i]*g.lambda[i] + g.pi[j]*g.lambda[j]) / wsum
+				g.pi[i] = wsum
+				g.pi = append(g.pi[:j], g.pi[j+1:]...)
+				g.lambda = append(g.lambda[:j], g.lambda[j+1:]...)
+				g.alpha = g.alpha[:len(g.pi)]
+				merged = true
+				break
+			}
+		}
+	}
+	if len(g.resp) != len(g.pi) {
+		g.allocScratch()
+	}
+}
+
+func (g *GM) checkDim(w []float64) {
+	if len(w) != g.m {
+		panic(fmt.Sprintf("core: parameter vector has %d dims, GM built for %d", len(w), g.m))
+	}
+}

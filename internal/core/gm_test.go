@@ -1,0 +1,401 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gmreg/internal/tensor"
+)
+
+func testConfig() Config {
+	c := DefaultConfig(0.1)
+	return c
+}
+
+func TestDefaultConfigRecipe(t *testing.T) {
+	c := DefaultConfig(0.1)
+	if c.K != 4 {
+		t.Errorf("K = %d, want 4", c.K)
+	}
+	// Initializer std 0.1 → precision 100 → min precision 10 (§V-E).
+	if math.Abs(c.MinPrecision-10) > 1e-9 {
+		t.Errorf("MinPrecision = %v, want 10", c.MinPrecision)
+	}
+	if c.AlphaExponent != 0.5 {
+		t.Errorf("AlphaExponent = %v, want 0.5", c.AlphaExponent)
+	}
+	if c.Init != InitLinear {
+		t.Errorf("Init = %v, want linear", c.Init)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config must validate: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadValues(t *testing.T) {
+	base := testConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"K=0", func(c *Config) { c.K = 0 }},
+		{"Gamma=0", func(c *Config) { c.Gamma = 0 }},
+		{"negative ARatio", func(c *Config) { c.ARatio = -1 }},
+		{"negative AlphaExponent", func(c *Config) { c.AlphaExponent = -0.5 }},
+		{"MinPrecision=0", func(c *Config) { c.MinPrecision = 0 }},
+		{"MergeTolerance=1", func(c *Config) { c.MergeTolerance = 1 }},
+		{"negative warmup", func(c *Config) { c.WarmupEpochs = -1 }},
+		{"RegInterval=0", func(c *Config) { c.RegInterval = 0 }},
+		{"GMInterval=0", func(c *Config) { c.GMInterval = 0 }},
+		{"negative batches", func(c *Config) { c.BatchesPerEpoch = -1 }},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestNewGMRejectsBadDim(t *testing.T) {
+	if _, err := NewGM(0, testConfig()); err == nil {
+		t.Fatal("expected error for M=0")
+	}
+	bad := testConfig()
+	bad.K = 0
+	if _, err := NewGM(10, bad); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+}
+
+func TestInitMethods(t *testing.T) {
+	const min = 10.0
+	lam := make([]float64, 4)
+
+	initPrecisions(lam, InitIdentical, min)
+	for _, v := range lam {
+		if v != min {
+			t.Fatalf("identical init: got %v, want all %v", lam, min)
+		}
+	}
+
+	initPrecisions(lam, InitLinear, min)
+	want := []float64{10, 20, 30, 40}
+	for i, v := range want {
+		if math.Abs(lam[i]-v) > 1e-9 {
+			t.Fatalf("linear init: got %v, want %v", lam, want)
+		}
+	}
+
+	initPrecisions(lam, InitProportional, min)
+	want = []float64{10, 20, 40, 80}
+	for i, v := range want {
+		if math.Abs(lam[i]-v) > 1e-9 {
+			t.Fatalf("proportional init: got %v, want %v", lam, want)
+		}
+	}
+
+	single := []float64{0}
+	initPrecisions(single, InitLinear, min)
+	if single[0] != min {
+		t.Fatalf("linear init with K=1 must anchor at min, got %v", single[0])
+	}
+}
+
+func TestInitMethodString(t *testing.T) {
+	if InitLinear.String() != "linear" || InitIdentical.String() != "identical" ||
+		InitProportional.String() != "proportional" {
+		t.Fatal("InitMethod names must match the paper")
+	}
+	if InitMethod(99).String() == "" {
+		t.Fatal("unknown method must still render")
+	}
+}
+
+func TestHyperParameterDerivation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Gamma = 0.002
+	cfg.ARatio = 0.1
+	g := MustNewGM(500, cfg)
+	a, b := g.Hyper()
+	if math.Abs(b-1.0) > 1e-9 { // b = γM = 0.002·500
+		t.Errorf("b = %v, want 1.0", b)
+	}
+	if math.Abs(a-(1+0.1*b)) > 1e-9 {
+		t.Errorf("a = %v, want 1 + 0.1·b", a)
+	}
+}
+
+// Responsibilities must form a probability distribution over components for
+// every dimension (Eq. 9).
+func TestResponsibilitiesSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		m := 5 + rng.Intn(50)
+		g := MustNewGM(m, testConfig())
+		w := make([]float64, m)
+		rng.FillNormal(w, 0, 0.5)
+		g.CalResponsibility(w)
+		for dim := 0; dim < m; dim++ {
+			var s float64
+			for k := 0; k < g.K(); k++ {
+				r := g.resp[k][dim]
+				if r < 0 || r > 1 {
+					return false
+				}
+				s += r
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Eq. 10: greg must equal the analytic gradient of the per-parameter negative
+// log mixture density, checked against numerical differentiation of Penalty.
+func TestRegGradMatchesNumericalGradient(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	const m = 20
+	g := MustNewGM(m, testConfig())
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.3)
+	g.CalResponsibility(w)
+	g.CalcRegGrad(w)
+
+	const h = 1e-6
+	for dim := 0; dim < m; dim++ {
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[dim] += h
+		wm[dim] -= h
+		num := (g.Penalty(wp) - g.Penalty(wm)) / (2 * h)
+		if math.Abs(num-g.greg[dim]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("dim %d: analytic greg %v vs numeric %v", dim, g.greg[dim], num)
+		}
+	}
+}
+
+// With a single component the GM reduces to L2 regularization: greg = λ·w.
+func TestSingleComponentReducesToL2(t *testing.T) {
+	cfg := testConfig()
+	cfg.K = 1
+	g := MustNewGM(5, cfg)
+	w := []float64{-1, -0.5, 0, 0.5, 1}
+	g.CalResponsibility(w)
+	g.CalcRegGrad(w)
+	lambda := g.Lambda()[0]
+	for i, wm := range w {
+		if math.Abs(g.greg[i]-lambda*wm) > 1e-12 {
+			t.Fatalf("K=1 greg[%d] = %v, want λ·w = %v", i, g.greg[i], lambda*wm)
+		}
+	}
+}
+
+// The M-step must keep π a probability vector (Eq. 17 with its Lagrange
+// constraint) and λ strictly positive and bounded by the Gamma prior.
+func TestMStepInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		m := 20 + rng.Intn(200)
+		cfg := testConfig()
+		cfg.MergeTolerance = 0 // keep K fixed to test raw update formulas
+		g := MustNewGM(m, cfg)
+		w := make([]float64, m)
+		rng.FillNormal(w, 0, 0.05+rng.Float64())
+		for it := 0; it < 5; it++ {
+			g.CalResponsibility(w)
+			g.UptGMParam()
+			var s float64
+			for _, p := range g.pi {
+				if p <= 0 || p > 1 {
+					return false
+				}
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+			lamMax := (2*(g.a-1) + float64(m)) / (2 * g.b)
+			for _, l := range g.lambda {
+				if l <= 0 || math.IsNaN(l) || l > lamMax+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Offline EM on data truly drawn from a two-scale mixture must recover two
+// clusters whose precisions bracket the generating precisions, with the
+// noise component getting the larger mixing mass.
+func TestFitRecoversTwoScaleMixture(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	const m = 4000
+	w := make([]float64, m)
+	for i := range w {
+		if rng.Float64() < 0.7 {
+			w[i] = 0.05 * rng.NormFloat64() // noise features, precision 400
+		} else {
+			w[i] = 0.7 * rng.NormFloat64() // predictive features, precision ~2
+		}
+	}
+	cfg := testConfig()
+	cfg.Gamma = 0.0005
+	g := MustNewGM(m, cfg)
+	iters := g.Fit(w, 500, 1e-8)
+	if iters == 500 {
+		t.Log("Fit hit the iteration cap (acceptable but worth noting)")
+	}
+	if g.K() < 2 {
+		t.Fatalf("expected at least 2 surviving components, got %d (π=%v λ=%v)",
+			g.K(), g.Pi(), g.Lambda())
+	}
+	lam := g.Lambda()
+	pi := g.Pi()
+	// Identify the highest- and lowest-precision components.
+	hi, lo := 0, 0
+	for i := range lam {
+		if lam[i] > lam[hi] {
+			hi = i
+		}
+		if lam[i] < lam[lo] {
+			lo = i
+		}
+	}
+	if lam[hi] < 100 {
+		t.Errorf("noise component precision %v, want ≳ 400-ish (>100)", lam[hi])
+	}
+	if lam[lo] > 20 {
+		t.Errorf("signal component precision %v, want ≲ 2-ish (<20)", lam[lo])
+	}
+	if pi[hi] < pi[lo] {
+		t.Errorf("noise component should carry more mass: π=%v", pi)
+	}
+}
+
+// When the parameters are drawn from a single Gaussian, the initial 4
+// components must merge down to one or two (the paper's "components
+// gradually merge" observation, §V-B1), with nearly all mixing mass on a
+// component whose precision approximates the generating precision 1/0.1²=100.
+func TestMergingCollapsesSingleGaussian(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	const m = 3000
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.1)
+	g := MustNewGM(m, testConfig())
+	g.Fit(w, 300, 1e-9)
+	if g.K() > 2 {
+		t.Fatalf("expected 1-2 merged components, got %d (λ=%v, π=%v)",
+			g.K(), g.Lambda(), g.Pi())
+	}
+	pi, lam := g.Pi(), g.Lambda()
+	dom := tensor.ArgMax(pi)
+	if pi[dom] < 0.9 {
+		t.Errorf("dominant component mass %v, want ≥ 0.9 (π=%v)", pi[dom], pi)
+	}
+	if lam[dom] < 50 || lam[dom] > 150 {
+		t.Errorf("dominant precision %v, want near 100", lam[dom])
+	}
+}
+
+// Direct merge mechanics: components with precisions inside the tolerance
+// must fold together, summing mass and π-weighting the precision; greg must
+// survive the reallocation of K-dependent scratch.
+func TestMergeComponentsMechanics(t *testing.T) {
+	cfg := testConfig()
+	cfg.MergeTolerance = 0.05
+	g := MustNewGM(4, cfg)
+	g.greg[0] = 42 // sentinel: cached gradient must survive merging
+	g.pi = []float64{0.3, 0.3, 0.2, 0.2}
+	g.lambda = []float64{100, 98, 10, 500}
+	g.alpha = []float64{2, 2, 2, 2}
+	g.mergeComponents()
+	if g.K() != 3 {
+		t.Fatalf("K = %d after merge, want 3 (λ=%v)", g.K(), g.lambda)
+	}
+	if math.Abs(g.pi[0]-0.6) > 1e-12 {
+		t.Errorf("merged mass %v, want 0.6", g.pi[0])
+	}
+	if math.Abs(g.lambda[0]-99) > 1e-9 {
+		t.Errorf("merged precision %v, want 99 (π-weighted mean)", g.lambda[0])
+	}
+	if g.greg[0] != 42 {
+		t.Error("cached greg lost during merge")
+	}
+	if len(g.resp) != 3 || len(g.sumR) != 3 {
+		t.Error("scratch not resized to the new K")
+	}
+}
+
+// MergeTolerance = 0 disables merging entirely.
+func TestMergeDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.MergeTolerance = 0
+	g := MustNewGM(4, cfg)
+	g.lambda = []float64{100, 100, 100, 100}
+	g.mergeComponents()
+	if g.K() != 4 {
+		t.Fatalf("merging ran with tolerance 0: K=%d", g.K())
+	}
+}
+
+// The MAP objective G restricted to the regularization terms must not
+// increase across EM iterations on static data (EM ascent property).
+func TestFitObjectiveNonIncreasing(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	const m = 500
+	w := make([]float64, m)
+	for i := range w {
+		if i%3 == 0 {
+			w[i] = 0.5 * rng.NormFloat64()
+		} else {
+			w[i] = 0.05 * rng.NormFloat64()
+		}
+	}
+	cfg := testConfig()
+	cfg.MergeTolerance = 0 // merging changes the objective's parameterization
+	g := MustNewGM(m, cfg)
+	prev := g.Penalty(w) + g.HyperPenalty()
+	for it := 0; it < 40; it++ {
+		g.CalResponsibility(w)
+		g.UptGMParam()
+		cur := g.Penalty(w) + g.HyperPenalty()
+		if cur > prev+1e-6*math.Abs(prev) {
+			t.Fatalf("iteration %d: objective rose from %v to %v", it, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestGradPanicsOnWrongDims(t *testing.T) {
+	g := MustNewGM(4, testConfig())
+	assertPanics(t, func() { g.Grad(make([]float64, 3), make([]float64, 4)) })
+	assertPanics(t, func() { g.Grad(make([]float64, 4), make([]float64, 3)) })
+	assertPanics(t, func() { g.CalResponsibility(make([]float64, 5)) })
+	assertPanics(t, func() { g.Penalty(make([]float64, 1)) })
+}
+
+func TestMustNewGMPanicsOnError(t *testing.T) {
+	assertPanics(t, func() { MustNewGM(0, testConfig()) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

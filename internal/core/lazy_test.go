@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+// lazyGM builds a GM with an explicit lazy schedule over a b-batch epoch.
+func lazyGM(t *testing.T, m, e, im, ig, b int) *GM {
+	t.Helper()
+	cfg := testConfig()
+	cfg.WarmupEpochs = e
+	cfg.RegInterval = im
+	cfg.GMInterval = ig
+	cfg.BatchesPerEpoch = b
+	return MustNewGM(m, cfg)
+}
+
+// During warm-up every iteration must run a full E-step and M-step
+// (Algorithm 2, lines 4 and 9 with epoch_it < E).
+func TestLazyUpdateWarmupRunsEveryIteration(t *testing.T) {
+	const m, batches = 10, 5
+	g := lazyGM(t, m, 2, 50, 50, batches)
+	rng := tensor.NewRNG(1)
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.1)
+	dst := make([]float64, m)
+	for it := 0; it < 2*batches; it++ { // exactly the warm-up epochs
+		g.Grad(w, dst)
+	}
+	e, ms := g.Steps()
+	if e != 2*batches || ms != 2*batches {
+		t.Fatalf("warm-up: eSteps=%d mSteps=%d, want %d each", e, ms, 2*batches)
+	}
+}
+
+// After warm-up the E-step must run every Im iterations and the M-step every
+// Ig iterations.
+func TestLazyUpdateScheduleAfterWarmup(t *testing.T) {
+	const m, batches = 10, 10
+	const im, ig = 5, 10
+	g := lazyGM(t, m, 1, im, ig, batches)
+	rng := tensor.NewRNG(2)
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.1)
+	dst := make([]float64, m)
+
+	for it := 0; it < batches; it++ { // warm-up epoch
+		g.Grad(w, dst)
+	}
+	e0, m0 := g.Steps()
+
+	const post = 100
+	for it := 0; it < post; it++ {
+		g.Grad(w, dst)
+	}
+	e1, m1 := g.Steps()
+	wantE := post / im
+	wantM := post / ig
+	if e1-e0 != wantE {
+		t.Errorf("post-warm-up E-steps = %d, want %d", e1-e0, wantE)
+	}
+	if m1-m0 != wantM {
+		t.Errorf("post-warm-up M-steps = %d, want %d", m1-m0, wantM)
+	}
+}
+
+// Between E-steps the cached greg must be returned unchanged even though w
+// moves (that is the point of the lazy update).
+func TestLazyUpdateReturnsCachedGradient(t *testing.T) {
+	const m, batches = 8, 4
+	g := lazyGM(t, m, 1, 10, 10, batches)
+	rng := tensor.NewRNG(3)
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.1)
+	dst := make([]float64, m)
+	for it := 0; it < batches; it++ {
+		g.Grad(w, dst)
+	}
+	// First post-warm-up iteration (it=4, 4%10!=0): cached gradient.
+	cached := append([]float64(nil), dst...)
+	for i := range w {
+		w[i] += 0.01 // move the parameters
+	}
+	g.Grad(w, dst)
+	for i := range dst {
+		if dst[i] != cached[i] {
+			t.Fatalf("expected cached greg between E-steps; dim %d changed %v -> %v",
+				i, cached[i], dst[i])
+		}
+	}
+}
+
+// An E-step boundary must refresh the gradient.
+func TestLazyUpdateRefreshesAtInterval(t *testing.T) {
+	const m, batches = 8, 2
+	const im = 3
+	g := lazyGM(t, m, 1, im, im, batches)
+	rng := tensor.NewRNG(4)
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.1)
+	dst := make([]float64, m)
+	for it := 0; it < batches; it++ {
+		g.Grad(w, dst)
+	}
+	// Advance to just before the refresh boundary.
+	for g.it%im != im-1 {
+		g.Grad(w, dst)
+	}
+	for i := range w {
+		w[i] *= 2
+	}
+	before := append([]float64(nil), dst...)
+	g.Grad(w, dst) // this call lands on it%im == im-1 → still cached
+	g.Grad(w, dst) // it%im == 0 → refresh
+	changed := false
+	for i := range dst {
+		if dst[i] != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("gradient should refresh at the Im boundary")
+	}
+}
+
+// GMInterval larger than RegInterval: the M-step must still see fresh
+// responsibilities (not stale ones from an earlier E-step).
+func TestLazyUpdateIgLargerThanIm(t *testing.T) {
+	const m, batches = 6, 2
+	g := lazyGM(t, m, 0, 2, 6, batches)
+	rng := tensor.NewRNG(5)
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.1)
+	dst := make([]float64, m)
+	for it := 0; it < 60; it++ {
+		g.Grad(w, dst)
+	}
+	e, ms := g.Steps()
+	if ms != 10 {
+		t.Errorf("mSteps = %d, want 10 (every 6 of 60)", ms)
+	}
+	// E-steps: every 2 iterations = 30. Iterations at multiples of 6 are
+	// also multiples of 2, so no extra refresh E-steps are needed.
+	if e != 30 {
+		t.Errorf("eSteps = %d, want 30", e)
+	}
+}
+
+// When Ig is NOT a multiple of Im, the M-step boundary triggers an extra
+// responsibility refresh.
+func TestLazyUpdateRefreshForMStep(t *testing.T) {
+	const m, batches = 6, 2
+	g := lazyGM(t, m, 0, 4, 6, batches)
+	rng := tensor.NewRNG(6)
+	w := make([]float64, m)
+	rng.FillNormal(w, 0, 0.1)
+	dst := make([]float64, m)
+	for it := 0; it < 12; it++ {
+		g.Grad(w, dst)
+	}
+	e, ms := g.Steps()
+	if ms != 2 { // iterations 0 and 6
+		t.Errorf("mSteps = %d, want 2", ms)
+	}
+	// E-steps at 0,4,8 (Im) plus a refresh at 6 (Ig boundary not on Im grid).
+	if e != 4 {
+		t.Errorf("eSteps = %d, want 4", e)
+	}
+}
+
+// The lazy schedule is an efficiency device: it must not change what is
+// learned materially. Run the same EM-style fit with Im=Ig=1 and Im=Ig=5 on
+// the same trajectory and compare final mixtures loosely.
+func TestLazyUpdateAccuracyParity(t *testing.T) {
+	const m = 1000
+	makeW := func() []float64 {
+		rng := tensor.NewRNG(7)
+		w := make([]float64, m)
+		for i := range w {
+			if i%4 == 0 {
+				w[i] = 0.5 * rng.NormFloat64()
+			} else {
+				w[i] = 0.05 * rng.NormFloat64()
+			}
+		}
+		return w
+	}
+	run := func(interval int) *GM {
+		g := lazyGM(t, m, 1, interval, interval, 10)
+		w := makeW()
+		dst := make([]float64, m)
+		rng := tensor.NewRNG(8)
+		for it := 0; it < 400; it++ {
+			g.Grad(w, dst)
+			// Small random walk, standing in for SGD noise.
+			for i := range w {
+				w[i] += 0.0005 * rng.NormFloat64()
+			}
+		}
+		return g
+	}
+	full := run(1)
+	lazy := run(5)
+	if full.K() != lazy.K() {
+		t.Fatalf("component counts diverged: full=%d lazy=%d", full.K(), lazy.K())
+	}
+	fl, ll := full.Lambda(), lazy.Lambda()
+	for i := range fl {
+		rel := math.Abs(fl[i]-ll[i]) / math.Max(1, fl[i])
+		if rel > 0.2 {
+			t.Errorf("λ[%d] diverged: full=%v lazy=%v", i, fl[i], ll[i])
+		}
+	}
+}
+
+// BatchesPerEpoch=0 must behave as 1 batch per epoch rather than dividing
+// by zero.
+func TestLazyUpdateZeroBatchesPerEpoch(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchesPerEpoch = 0
+	cfg.WarmupEpochs = 1
+	cfg.RegInterval = 10
+	cfg.GMInterval = 10
+	g := MustNewGM(4, cfg)
+	w := []float64{0.1, -0.1, 0.2, -0.2}
+	dst := make([]float64, 4)
+	g.Grad(w, dst) // warm-up iteration; must not panic
+	g.Grad(w, dst)
+	if e, _ := g.Steps(); e < 1 {
+		t.Fatal("no E-step ran")
+	}
+}

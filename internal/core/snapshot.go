@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Snapshot is a serializable capture of a GM's learned state — the mixture
+// parameters, the hyper-prior constants and the lazy-update position — so a
+// learned regularizer can be persisted alongside model checkpoints and
+// resumed, or exported for analysis (the per-layer π/λ of Tables IV–V).
+type Snapshot struct {
+	M         int       `json:"m"`
+	Pi        []float64 `json:"pi"`
+	Lambda    []float64 `json:"lambda"`
+	Alpha     []float64 `json:"alpha"`
+	A         float64   `json:"a"`
+	B         float64   `json:"b"`
+	Iteration int       `json:"iteration"`
+	EpochIt   int       `json:"epoch_it"`
+	Config    Config    `json:"config"`
+}
+
+// Snapshot captures the GM's current state. The slices are copies.
+func (g *GM) Snapshot() Snapshot {
+	return Snapshot{
+		M:         g.m,
+		Pi:        append([]float64(nil), g.pi...),
+		Lambda:    append([]float64(nil), g.lambda...),
+		Alpha:     append([]float64(nil), g.alpha...),
+		A:         g.a,
+		B:         g.b,
+		Iteration: g.it,
+		EpochIt:   g.epochIt,
+		Config:    g.cfg,
+	}
+}
+
+// FromSnapshot reconstructs a GM from a snapshot, validating its shape. The
+// restored GM continues exactly where the captured one left off (its cached
+// greg is recomputed at the next refresh boundary).
+func FromSnapshot(s Snapshot) (*GM, error) {
+	if err := s.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if s.M < 1 {
+		return nil, fmt.Errorf("core: snapshot has M=%d", s.M)
+	}
+	k := len(s.Pi)
+	if k < 1 || len(s.Lambda) != k || len(s.Alpha) != k {
+		return nil, fmt.Errorf("core: snapshot component slices inconsistent (%d/%d/%d)",
+			len(s.Pi), len(s.Lambda), len(s.Alpha))
+	}
+	var piSum float64
+	for i := 0; i < k; i++ {
+		if s.Pi[i] <= 0 || s.Pi[i] > 1 {
+			return nil, fmt.Errorf("core: snapshot π[%d]=%v out of (0,1]", i, s.Pi[i])
+		}
+		if s.Lambda[i] <= 0 {
+			return nil, fmt.Errorf("core: snapshot λ[%d]=%v not positive", i, s.Lambda[i])
+		}
+		piSum += s.Pi[i]
+	}
+	if piSum < 0.999 || piSum > 1.001 {
+		return nil, fmt.Errorf("core: snapshot mixing mass %v, want 1", piSum)
+	}
+	g := &GM{
+		cfg:     s.Config,
+		m:       s.M,
+		pi:      append([]float64(nil), s.Pi...),
+		lambda:  append([]float64(nil), s.Lambda...),
+		alpha:   append([]float64(nil), s.Alpha...),
+		a:       s.A,
+		b:       s.B,
+		it:      s.Iteration,
+		epochIt: s.EpochIt,
+	}
+	g.allocScratch()
+	return g, nil
+}
+
+// MarshalJSON serializes the GM as its Snapshot.
+func (g *GM) MarshalJSON() ([]byte, error) {
+	return json.Marshal(g.Snapshot())
+}
+
+// UnmarshalJSON restores the GM from a Snapshot produced by MarshalJSON.
+func (g *GM) UnmarshalJSON(data []byte) error {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	restored, err := FromSnapshot(s)
+	if err != nil {
+		return err
+	}
+	*g = *restored
+	return nil
+}
+
+// String renders the mixture compactly: "GM{K=2 π=[0.27 0.73] λ=[0.9 31.9]}".
+func (g *GM) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GM{K=%d π=[", len(g.pi))
+	for i, p := range g.pi {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.3g", p)
+	}
+	b.WriteString("] λ=[")
+	for i, l := range g.lambda {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.3g", l)
+	}
+	b.WriteString("]}")
+	return b.String()
+}

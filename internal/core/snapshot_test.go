@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+func trainedGM(t *testing.T) *GM {
+	t.Helper()
+	rng := tensor.NewRNG(33)
+	const m = 1000
+	w := make([]float64, m)
+	for i := range w {
+		if i%5 == 0 {
+			w[i] = 0.6 * rng.NormFloat64()
+		} else {
+			w[i] = 0.05 * rng.NormFloat64()
+		}
+	}
+	g := MustNewGM(m, testConfig())
+	g.Fit(w, 200, 1e-9)
+	return g
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := trainedGM(t)
+	// Advance the lazy-update position a bit.
+	w := make([]float64, g.M())
+	dst := make([]float64, g.M())
+	for i := 0; i < 7; i++ {
+		g.Grad(w, dst)
+	}
+
+	snap := g.Snapshot()
+	restored, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.K() != g.K() || restored.M() != g.M() {
+		t.Fatalf("restored geometry K=%d M=%d, want K=%d M=%d",
+			restored.K(), restored.M(), g.K(), g.M())
+	}
+	gp, rp := g.Pi(), restored.Pi()
+	gl, rl := g.Lambda(), restored.Lambda()
+	for i := range gp {
+		if gp[i] != rp[i] || gl[i] != rl[i] {
+			t.Fatal("restored mixture differs")
+		}
+	}
+	if restored.it != g.it || restored.epochIt != g.epochIt {
+		t.Fatal("lazy-update position not restored")
+	}
+	// The restored GM must be immediately usable.
+	restored.Grad(w, dst)
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	g := trainedGM(t)
+	snap := g.Snapshot()
+	snap.Pi[0] = 99
+	if g.Pi()[0] == 99 {
+		t.Fatal("snapshot aliases the live mixture")
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	good := trainedGM(t).Snapshot()
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"M=0", func(s *Snapshot) { s.M = 0 }},
+		{"empty pi", func(s *Snapshot) { s.Pi = nil }},
+		{"length mismatch", func(s *Snapshot) { s.Lambda = s.Lambda[:len(s.Lambda)-1] }},
+		{"negative pi", func(s *Snapshot) { s.Pi[0] = -0.5 }},
+		{"zero lambda", func(s *Snapshot) { s.Lambda[0] = 0 }},
+		{"mass != 1", func(s *Snapshot) { s.Pi[0] += 0.5 }},
+		{"bad config", func(s *Snapshot) { s.Config.K = 0 }},
+	}
+	for _, tc := range cases {
+		s := good
+		s.Pi = append([]float64(nil), good.Pi...)
+		s.Lambda = append([]float64(nil), good.Lambda...)
+		s.Alpha = append([]float64(nil), good.Alpha...)
+		tc.mutate(&s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGMJSONRoundTrip(t *testing.T) {
+	g := trainedGM(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored GM
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.K() != g.K() {
+		t.Fatalf("JSON round trip changed K: %d vs %d", restored.K(), g.K())
+	}
+	gl, rl := g.Lambda(), restored.Lambda()
+	for i := range gl {
+		if gl[i] != rl[i] {
+			t.Fatal("JSON round trip changed λ")
+		}
+	}
+	if err := json.Unmarshal([]byte(`{"m":0}`), &restored); err == nil {
+		t.Fatal("expected error for invalid snapshot JSON")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &restored); err == nil {
+		t.Fatal("expected error for malformed JSON")
+	}
+}
+
+func TestGMString(t *testing.T) {
+	g := trainedGM(t)
+	s := g.String()
+	if !strings.HasPrefix(s, "GM{K=") || !strings.Contains(s, "λ=[") {
+		t.Fatalf("String() = %q", s)
+	}
+}

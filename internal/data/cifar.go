@@ -1,0 +1,200 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"gmreg/internal/tensor"
+)
+
+// ImageSet is a labelled image dataset in NCHW layout, stored flat.
+type ImageSet struct {
+	// X holds N·C·H·W pixel values.
+	X []float64
+	// Y holds class labels in [0, Classes).
+	Y []int
+	// N, C, H, W give the geometry; Classes the label count.
+	N, C, H, W, Classes int
+}
+
+// Image returns the flat pixel slice of sample i (a view, not a copy).
+func (s *ImageSet) Image(i int) []float64 {
+	sz := s.C * s.H * s.W
+	return s.X[i*sz : (i+1)*sz]
+}
+
+// Batch gathers the given sample indices into a fresh NCHW tensor plus the
+// matching label slice.
+func (s *ImageSet) Batch(idx []int) (*tensor.Tensor, []int) {
+	sz := s.C * s.H * s.W
+	x := tensor.New(len(idx), s.C, s.H, s.W)
+	y := make([]int, len(idx))
+	for bi, i := range idx {
+		copy(x.Data[bi*sz:(bi+1)*sz], s.Image(i))
+		y[bi] = s.Y[i]
+	}
+	return x, y
+}
+
+// CIFARSpec configures the synthetic CIFAR-10 substitute: class-conditional
+// images with the real dataset's geometry (3×32×32, 10 classes by default)
+// whose signal-to-noise ratio is tuned so that small training sets overfit
+// without regularization — the regime Table VI measures.
+type CIFARSpec struct {
+	// Train and Test are the sample counts per split.
+	Train, Test int
+	// Classes is the label count (10 for CIFAR-10).
+	Classes int
+	// Size is the square spatial size (32 for CIFAR-10).
+	Size int
+	// Channels is the colour channel count (3 for CIFAR-10).
+	Channels int
+	// Signal scales the class prototype; Noise the per-pixel Gaussian noise.
+	Signal, Noise float64
+	// Waves is the number of sinusoidal basis patterns per class prototype.
+	Waves int
+	// LabelNoise is the probability that a training image carries a random
+	// wrong label. Label noise is what an unregularized model memorizes —
+	// it creates the overfitting gap Table VI measures. Test labels stay
+	// clean so accuracy measures generalization.
+	LabelNoise float64
+}
+
+// DefaultCIFAR returns the real CIFAR-10 geometry with reduced sample counts
+// suitable for CPU training; pass larger Train/Test for full-scale runs.
+func DefaultCIFAR(train, test int) CIFARSpec {
+	return CIFARSpec{
+		Train: train, Test: test,
+		Classes: 10, Size: 32, Channels: 3,
+		Signal: 0.9, Noise: 1.0, Waves: 6,
+	}
+}
+
+// GenerateCIFAR synthesizes the train and test splits. Each class has a
+// smooth random prototype (a sum of low-frequency sinusoids per channel);
+// samples are the prototype plus white noise and a random global brightness
+// shift. The per-pixel training mean is subtracted from both splits,
+// matching the paper's ResNet preprocessing.
+func GenerateCIFAR(spec CIFARSpec, seed uint64) (train, test *ImageSet) {
+	if spec.Classes < 2 || spec.Size < 4 || spec.Channels < 1 {
+		panic(fmt.Sprintf("data: invalid CIFAR spec %+v", spec))
+	}
+	rng := tensor.NewRNG(seed)
+	protos := make([][]float64, spec.Classes)
+	sz := spec.Channels * spec.Size * spec.Size
+	for cl := range protos {
+		protos[cl] = makePrototype(spec, rng)
+	}
+	gen := func(n int, labelNoise float64, r *tensor.RNG) *ImageSet {
+		s := &ImageSet{
+			X: make([]float64, n*sz), Y: make([]int, n),
+			N: n, C: spec.Channels, H: spec.Size, W: spec.Size,
+			Classes: spec.Classes,
+		}
+		for i := 0; i < n; i++ {
+			cl := i % spec.Classes // balanced classes
+			img := s.X[i*sz : (i+1)*sz]
+			brightness := 0.2 * r.NormFloat64()
+			for p := 0; p < sz; p++ {
+				img[p] = spec.Signal*protos[cl][p] + spec.Noise*r.NormFloat64() + brightness
+			}
+			if labelNoise > 0 && r.Float64() < labelNoise {
+				cl = r.Intn(spec.Classes)
+			}
+			s.Y[i] = cl
+		}
+		return s
+	}
+	train = gen(spec.Train, spec.LabelNoise, rng.Split())
+	test = gen(spec.Test, 0, rng.Split())
+
+	// Per-pixel mean subtraction fitted on the training split.
+	mean := make([]float64, sz)
+	for i := 0; i < train.N; i++ {
+		img := train.Image(i)
+		for p := range mean {
+			mean[p] += img[p]
+		}
+	}
+	for p := range mean {
+		mean[p] /= float64(train.N)
+	}
+	for _, s := range []*ImageSet{train, test} {
+		for i := 0; i < s.N; i++ {
+			img := s.Image(i)
+			for p := range mean {
+				img[p] -= mean[p]
+			}
+		}
+	}
+	return train, test
+}
+
+// makePrototype builds one smooth class prototype: per channel, a sum of
+// low-frequency sinusoids with random orientation and phase, normalized to
+// unit standard deviation.
+func makePrototype(spec CIFARSpec, rng *tensor.RNG) []float64 {
+	size := spec.Size
+	proto := make([]float64, spec.Channels*size*size)
+	for c := 0; c < spec.Channels; c++ {
+		base := c * size * size
+		for w := 0; w < spec.Waves; w++ {
+			fx := (rng.Float64()*3 + 0.5) * 2 * math.Pi / float64(size)
+			fy := (rng.Float64()*3 + 0.5) * 2 * math.Pi / float64(size)
+			phase := rng.Float64() * 2 * math.Pi
+			amp := 0.5 + rng.Float64()
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					proto[base+y*size+x] += amp * math.Sin(fx*float64(x)+fy*float64(y)+phase)
+				}
+			}
+		}
+	}
+	// Normalize to unit std so Signal controls the SNR directly.
+	std := math.Sqrt(tensor.Variance(proto))
+	if std > 0 {
+		tensor.Scale(1/std, proto)
+	}
+	return proto
+}
+
+// Augment writes a randomly transformed copy of src (one C×H×W image) into
+// dst: horizontal flip with probability ½ and a random crop from a 4-pixel
+// zero pad — the standard CIFAR augmentation the paper applies to ResNet
+// training (and not to Alex-CIFAR-10).
+func Augment(dst, src []float64, c, h, w int, rng *tensor.RNG) {
+	const pad = 4
+	flip := rng.Float64() < 0.5
+	dy := rng.Intn(2*pad+1) - pad
+	dx := rng.Intn(2*pad+1) - pad
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			sy := y + dy
+			for x := 0; x < w; x++ {
+				sx := x + dx
+				if flip {
+					sx = w - 1 - (x + dx)
+				}
+				var v float64
+				if sy >= 0 && sy < h && sx >= 0 && sx < w {
+					v = src[base+sy*w+sx]
+				}
+				dst[base+y*w+x] = v
+			}
+		}
+	}
+}
+
+// AugmentBatch gathers idx into a tensor like Batch, applying Augment to
+// every image.
+func (s *ImageSet) AugmentBatch(idx []int, rng *tensor.RNG) (*tensor.Tensor, []int) {
+	sz := s.C * s.H * s.W
+	x := tensor.New(len(idx), s.C, s.H, s.W)
+	y := make([]int, len(idx))
+	for bi, i := range idx {
+		Augment(x.Data[bi*sz:(bi+1)*sz], s.Image(i), s.C, s.H, s.W, rng)
+		y[bi] = s.Y[i]
+	}
+	return x, y
+}

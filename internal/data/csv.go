@@ -1,0 +1,155 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions configures ReadCSV.
+type CSVOptions struct {
+	// LabelColumn names the 0/1 label column. Empty means the last column.
+	LabelColumn string
+	// Standardize applies zero-mean/unit-variance scaling per feature.
+	Standardize bool
+}
+
+// ReadCSV loads a binary-classification dataset from CSV: a header row of
+// column names followed by numeric rows. Empty cells, "?" and "NA" are
+// treated as missing and mean-imputed; the label column must contain 0/1
+// values. This is the bring-your-own-data entry point for gmreg-train.
+func ReadCSV(r io.Reader, name string, opts CSVOptions) (*Task, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("data: CSV needs a header and at least one row")
+	}
+	header := records[0]
+	labelIdx := len(header) - 1
+	if opts.LabelColumn != "" {
+		labelIdx = -1
+		for i, h := range header {
+			if strings.EqualFold(strings.TrimSpace(h), opts.LabelColumn) {
+				labelIdx = i
+				break
+			}
+		}
+		if labelIdx < 0 {
+			return nil, fmt.Errorf("data: label column %q not in header %v", opts.LabelColumn, header)
+		}
+	}
+	nFeat := len(header) - 1
+	if nFeat < 1 {
+		return nil, fmt.Errorf("data: CSV needs at least one feature column")
+	}
+
+	task := &Task{Name: name}
+	for rowNum, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("data: row %d has %d cells, want %d", rowNum+2, len(rec), len(header))
+		}
+		label, err := parseLabel(rec[labelIdx])
+		if err != nil {
+			return nil, fmt.Errorf("data: row %d: %w", rowNum+2, err)
+		}
+		x := make([]float64, 0, nFeat)
+		for i, cell := range rec {
+			if i == labelIdx {
+				continue
+			}
+			v, err := parseCell(cell)
+			if err != nil {
+				return nil, fmt.Errorf("data: row %d column %q: %w", rowNum+2, header[i], err)
+			}
+			x = append(x, v)
+		}
+		task.X = append(task.X, x)
+		task.Y = append(task.Y, label)
+	}
+
+	// Mean imputation per column, fitted over the observed cells.
+	for j := 0; j < nFeat; j++ {
+		var sum float64
+		var n int
+		for i := range task.X {
+			if v := task.X[i][j]; !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+		for i := range task.X {
+			if math.IsNaN(task.X[i][j]) {
+				task.X[i][j] = mean
+			}
+		}
+	}
+	if opts.Standardize {
+		standardizeColumns(task.X)
+	}
+	return task, nil
+}
+
+func parseLabel(cell string) (int, error) {
+	cell = strings.TrimSpace(cell)
+	switch cell {
+	case "0":
+		return 0, nil
+	case "1":
+		return 1, nil
+	}
+	return 0, fmt.Errorf("label %q is not 0 or 1", cell)
+}
+
+func parseCell(cell string) (float64, error) {
+	cell = strings.TrimSpace(cell)
+	switch strings.ToUpper(cell) {
+	case "", "?", "NA", "NAN", "NULL":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cannot parse %q as a number", cell)
+	}
+	if math.IsInf(v, 0) {
+		return 0, fmt.Errorf("infinite value %q", cell)
+	}
+	return v, nil
+}
+
+// WriteCSV exports a task as CSV (features f0..fN plus a final label
+// column), the inverse of ReadCSV for round-tripping datasets.
+func WriteCSV(w io.Writer, task *Task) error {
+	cw := csv.NewWriter(w)
+	n := task.NumFeatures()
+	header := make([]string, n+1)
+	for j := 0; j < n; j++ {
+		header[j] = fmt.Sprintf("f%d", j)
+	}
+	header[n] = "label"
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, n+1)
+	for i := range task.X {
+		for j, v := range task.X[i] {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[n] = strconv.Itoa(task.Y[i])
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,120 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := strings.NewReader("age,bmi,label\n30,22.5,0\n45,31.0,1\n60,27.5,1\n")
+	task, err := ReadCSV(in, "toy", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.NumSamples() != 3 || task.NumFeatures() != 2 {
+		t.Fatalf("geometry %d×%d", task.NumSamples(), task.NumFeatures())
+	}
+	if task.X[1][0] != 45 || task.X[1][1] != 31 || task.Y[1] != 1 {
+		t.Fatalf("row 1 = %v / %d", task.X[1], task.Y[1])
+	}
+}
+
+func TestReadCSVNamedLabelColumn(t *testing.T) {
+	in := strings.NewReader("outcome,a,b\n1,2,3\n0,4,5\n")
+	task, err := ReadCSV(in, "toy", CSVOptions{LabelColumn: "Outcome"}) // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Y[0] != 1 || task.X[0][0] != 2 || task.X[0][1] != 3 {
+		t.Fatalf("parsed %v / %v", task.X, task.Y)
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,0\n"), "toy",
+		CSVOptions{LabelColumn: "nope"}); err == nil {
+		t.Fatal("unknown label column accepted")
+	}
+}
+
+func TestReadCSVMissingValuesImputed(t *testing.T) {
+	in := strings.NewReader("a,label\n2,0\n?,1\n4,1\nNA,0\n")
+	task, err := ReadCSV(in, "toy", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed mean of column a is 3; missing cells become 3.
+	if task.X[1][0] != 3 || task.X[3][0] != 3 {
+		t.Fatalf("imputation failed: %v", task.X)
+	}
+	for _, row := range task.X {
+		if math.IsNaN(row[0]) {
+			t.Fatal("NaN survived imputation")
+		}
+	}
+}
+
+func TestReadCSVStandardize(t *testing.T) {
+	in := strings.NewReader("a,label\n10,0\n20,1\n30,1\n40,0\n")
+	task, err := ReadCSV(in, "toy", CSVOptions{Standardize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := []float64{task.X[0][0], task.X[1][0], task.X[2][0], task.X[3][0]}
+	var sum, sq float64
+	for _, v := range col {
+		sum += v
+		sq += v * v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("standardized mean %v", sum/4)
+	}
+	if math.Abs(sq/4-1) > 1e-9 {
+		t.Fatalf("standardized variance %v", sq/4)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"a,label\n",             // header only
+		"label\n1\n",            // no features
+		"a,label\n1,2\n",        // non-binary label
+		"a,label\nxyz,1\n",      // unparsable cell
+		"a,label\n+Inf,1\n",     // infinity
+		"a,label\n1,0\n1,0,0\n", // ragged row
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "toy", CSVOptions{}); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := LoadUCI("climate-model", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "roundtrip", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSamples() != orig.NumSamples() || back.NumFeatures() != orig.NumFeatures() {
+		t.Fatalf("geometry changed: %d×%d vs %d×%d",
+			back.NumSamples(), back.NumFeatures(), orig.NumSamples(), orig.NumFeatures())
+	}
+	for i := range orig.X {
+		if back.Y[i] != orig.Y[i] {
+			t.Fatal("labels changed in round trip")
+		}
+		for j := range orig.X[i] {
+			if math.Abs(back.X[i][j]-orig.X[i][j]) > 1e-12 {
+				t.Fatalf("value (%d,%d) changed: %v vs %v", i, j, back.X[i][j], orig.X[i][j])
+			}
+		}
+	}
+}

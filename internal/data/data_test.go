@@ -1,0 +1,430 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gmreg/internal/tensor"
+)
+
+// Table II of the paper: published sample counts, encoded feature counts and
+// feature types. The generators must reproduce all three columns exactly.
+func TestUCISpecsMatchTableII(t *testing.T) {
+	want := []struct {
+		name     string
+		samples  int
+		features int
+		ftype    string
+	}{
+		{"breast-canc", 699, 81, "categorical"},
+		{"breast-canc-dia", 569, 30, "continuous"},
+		{"breast-canc-pro", 198, 33, "continuous"},
+		{"climate-model", 540, 18, "continuous"},
+		{"congress-voting", 435, 32, "categorical"},
+		{"conn-sonar", 208, 60, "continuous"},
+		{"credit-approval", 690, 42, "combined"},
+		{"cylindar-bands", 541, 93, "combined"},
+		{"hepatitis", 155, 34, "combined"},
+		{"horse-colic", 368, 58, "combined"},
+		{"ionosphere", 351, 33, "combined"},
+	}
+	if len(UCISpecs) != len(want) {
+		t.Fatalf("have %d specs, want %d", len(UCISpecs), len(want))
+	}
+	for i, w := range want {
+		s := UCISpecs[i]
+		if s.Name != w.name {
+			t.Errorf("spec %d name %q, want %q", i, s.Name, w.name)
+		}
+		if s.Samples != w.samples {
+			t.Errorf("%s: samples %d, want %d", s.Name, s.Samples, w.samples)
+		}
+		if got := s.EncodedFeatures(); got != w.features {
+			t.Errorf("%s: encoded features %d, want %d", s.Name, got, w.features)
+		}
+		if got := s.FeatureType(); got != w.ftype {
+			t.Errorf("%s: feature type %q, want %q", s.Name, got, w.ftype)
+		}
+	}
+}
+
+func TestUCISpecByName(t *testing.T) {
+	s, err := UCISpecByName("horse-colic")
+	if err != nil || s.Name != "horse-colic" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := UCISpecByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestLoadUCIDimensionsAndDeterminism(t *testing.T) {
+	for _, spec := range UCISpecs {
+		task, err := LoadUCI(spec.Name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if task.NumSamples() != spec.Samples {
+			t.Errorf("%s: %d samples, want %d", spec.Name, task.NumSamples(), spec.Samples)
+		}
+		if task.NumFeatures() != spec.EncodedFeatures() {
+			t.Errorf("%s: %d features, want %d", spec.Name, task.NumFeatures(), spec.EncodedFeatures())
+		}
+		// Labels are binary and both classes occur.
+		seen := map[int]bool{}
+		for _, y := range task.Y {
+			if y != 0 && y != 1 {
+				t.Fatalf("%s: non-binary label %d", spec.Name, y)
+			}
+			seen[y] = true
+		}
+		if !seen[0] || !seen[1] {
+			t.Errorf("%s: degenerate labels %v", spec.Name, seen)
+		}
+		// No NaNs after preprocessing.
+		for _, row := range task.X {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: non-finite encoded value", spec.Name)
+				}
+			}
+		}
+	}
+	// Determinism: same seed, same data.
+	a, _ := LoadUCI("conn-sonar", 3)
+	b, _ := LoadUCI("conn-sonar", 3)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels not deterministic")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("features not deterministic")
+			}
+		}
+	}
+	c, _ := LoadUCI("conn-sonar", 4)
+	same := true
+	for i := range a.Y {
+		if a.Y[i] != c.Y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different labels")
+	}
+}
+
+func TestEncoderOneHotAndMissing(t *testing.T) {
+	raw := &RawTable{
+		Cat:           [][]int{{0}, {2}, {-1}},
+		Cards:         []int{3},
+		HasMissingCat: true,
+		Cont:          [][]float64{{1}, {3}, {math.NaN()}},
+		Y:             []int{0, 1, 0},
+	}
+	enc := FitEncoder(raw, []int{0, 1}) // fit stats on first two rows only
+	if enc.Width() != 5 {               // 3 cats + 1 missing class + 1 continuous
+		t.Fatalf("width = %d, want 5", enc.Width())
+	}
+	task := enc.Encode("toy", raw)
+	// Row 0: category 0, continuous 1 → standardized with mean 2, std 1.
+	want0 := []float64{1, 0, 0, 0, -1}
+	for j, v := range want0 {
+		if math.Abs(task.X[0][j]-v) > 1e-9 {
+			t.Fatalf("row0 = %v, want %v", task.X[0], want0)
+		}
+	}
+	// Row 2: missing category → missing class; missing continuous →
+	// mean-imputed → standardized to 0.
+	want2 := []float64{0, 0, 0, 1, 0}
+	for j, v := range want2 {
+		if math.Abs(task.X[2][j]-v) > 1e-9 {
+			t.Fatalf("row2 = %v, want %v", task.X[2], want2)
+		}
+	}
+}
+
+func TestEncoderPanicsOnMissingWithoutMissingClass(t *testing.T) {
+	raw := &RawTable{
+		Cat:   [][]int{{-1}},
+		Cards: []int{2},
+		Y:     []int{0},
+	}
+	enc := FitEncoder(raw, []int{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	enc.Encode("toy", raw)
+}
+
+func TestEncoderDegenerateColumn(t *testing.T) {
+	raw := &RawTable{
+		Cont: [][]float64{{5}, {5}},
+		Y:    []int{0, 1},
+	}
+	enc := FitEncoder(raw, []int{0, 1})
+	task := enc.Encode("toy", raw)
+	for i := range task.X {
+		if math.IsNaN(task.X[i][0]) || math.IsInf(task.X[i][0], 0) {
+			t.Fatal("constant column must not produce NaN/Inf")
+		}
+	}
+}
+
+func TestHospFACharacteristics(t *testing.T) {
+	spec := DefaultHospFA()
+	task := GenerateHospFA(spec, 9)
+	if task.NumSamples() != 1755 || task.NumFeatures() != 375 {
+		t.Fatalf("Hosp-FA geometry %d×%d, want 1755×375",
+			task.NumSamples(), task.NumFeatures())
+	}
+	// Columns are standardized.
+	for j := 0; j < 5; j++ {
+		col := make([]float64, task.NumSamples())
+		for i := range col {
+			col[i] = task.X[i][j]
+		}
+		if m := tensor.Mean(col); math.Abs(m) > 1e-9 {
+			t.Fatalf("column %d mean %v, want 0", j, m)
+		}
+		if v := tensor.Variance(col); math.Abs(v-1) > 0.05 {
+			t.Fatalf("column %d variance %v, want ~1", j, v)
+		}
+	}
+	// Both classes present, positives not vanishing.
+	var pos int
+	for _, y := range task.Y {
+		pos += y
+	}
+	rate := float64(pos) / float64(len(task.Y))
+	if rate < 0.15 || rate > 0.85 {
+		t.Fatalf("positive rate %v too skewed", rate)
+	}
+}
+
+func TestGenerateCIFARGeometryAndMeanSubtraction(t *testing.T) {
+	spec := DefaultCIFAR(200, 100)
+	train, test := GenerateCIFAR(spec, 13)
+	if train.N != 200 || test.N != 100 {
+		t.Fatalf("split sizes %d/%d", train.N, test.N)
+	}
+	if train.C != 3 || train.H != 32 || train.W != 32 || train.Classes != 10 {
+		t.Fatalf("geometry %d×%d×%d/%d", train.C, train.H, train.W, train.Classes)
+	}
+	// Balanced classes.
+	counts := make([]int, 10)
+	for _, y := range train.Y {
+		counts[y]++
+	}
+	for cl, c := range counts {
+		if c != 20 {
+			t.Fatalf("class %d has %d samples, want 20", cl, c)
+		}
+	}
+	// Per-pixel training mean is (numerically) zero after subtraction.
+	sz := train.C * train.H * train.W
+	mean := make([]float64, sz)
+	for i := 0; i < train.N; i++ {
+		img := train.Image(i)
+		for p := range mean {
+			mean[p] += img[p]
+		}
+	}
+	for p := range mean {
+		if math.Abs(mean[p]/float64(train.N)) > 1e-9 {
+			t.Fatal("per-pixel mean not subtracted")
+		}
+	}
+}
+
+// The class signal must be real: images of the same class correlate more
+// with their class prototype direction than images of other classes.
+func TestGenerateCIFARClassSignal(t *testing.T) {
+	spec := DefaultCIFAR(400, 100)
+	train, _ := GenerateCIFAR(spec, 17)
+	sz := train.C * train.H * train.W
+	// Class means as prototype estimates.
+	means := make([][]float64, 10)
+	counts := make([]int, 10)
+	for cl := range means {
+		means[cl] = make([]float64, sz)
+	}
+	for i := 0; i < train.N; i++ {
+		img := train.Image(i)
+		cl := train.Y[i]
+		counts[cl]++
+		for p := range img {
+			means[cl][p] += img[p]
+		}
+	}
+	for cl := range means {
+		tensor.Scale(1/float64(counts[cl]), means[cl])
+	}
+	// Nearest-class-mean classification should beat chance by a wide margin.
+	var correct int
+	for i := 0; i < train.N; i++ {
+		img := train.Image(i)
+		best, bestDot := -1, math.Inf(-1)
+		for cl := range means {
+			d := tensor.Dot(img, means[cl])
+			if d > bestDot {
+				bestDot, best = d, cl
+			}
+		}
+		if best == train.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(train.N)
+	if acc < 0.5 {
+		t.Fatalf("nearest-mean accuracy %v, want ≥ 0.5 (class signal too weak)", acc)
+	}
+}
+
+func TestBatchGather(t *testing.T) {
+	spec := DefaultCIFAR(20, 10)
+	spec.Size = 8
+	train, _ := GenerateCIFAR(spec, 19)
+	x, y := train.Batch([]int{3, 7})
+	if x.Shape[0] != 2 || x.Shape[1] != 3 || x.Shape[2] != 8 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	if y[0] != train.Y[3] || y[1] != train.Y[7] {
+		t.Fatal("batch labels mismatched")
+	}
+	sz := 3 * 8 * 8
+	for p := 0; p < sz; p++ {
+		if x.Data[p] != train.Image(3)[p] {
+			t.Fatal("batch pixels mismatched")
+		}
+	}
+}
+
+func TestAugmentPreservesGeometry(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	const c, h, w = 3, 8, 8
+	src := make([]float64, c*h*w)
+	rng.FillNormal(src, 0, 1)
+	dst := make([]float64, c*h*w)
+	Augment(dst, src, c, h, w, rng)
+	// The multiset of non-zero values must be drawn from src (crop+flip
+	// only moves pixels or zeroes them).
+	srcSet := map[float64]int{}
+	for _, v := range src {
+		srcSet[v]++
+	}
+	for _, v := range dst {
+		if v == 0 {
+			continue // padding
+		}
+		if srcSet[v] == 0 {
+			t.Fatal("augmentation invented a pixel value")
+		}
+	}
+}
+
+func TestAugmentBatchShapes(t *testing.T) {
+	spec := DefaultCIFAR(20, 10)
+	spec.Size = 8
+	train, _ := GenerateCIFAR(spec, 29)
+	rng := tensor.NewRNG(1)
+	x, y := train.AugmentBatch([]int{0, 1, 2}, rng)
+	if x.Shape[0] != 3 || len(y) != 3 {
+		t.Fatalf("augment batch shape %v / %d labels", x.Shape, len(y))
+	}
+}
+
+func TestStratifiedSplitPreservesProportions(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 100 + rng.Intn(400)
+		y := make([]int, n)
+		for i := range y {
+			if rng.Float64() < 0.3 {
+				y[i] = 1
+			}
+		}
+		train, test := StratifiedSplit(y, 0.8, rng)
+		if len(train)+len(test) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, i := range append(append([]int(nil), train...), test...) {
+			if seen[i] {
+				return false // overlap
+			}
+			seen[i] = true
+		}
+		// Class-1 proportion in train within 5 points of overall.
+		var totalPos, trainPos int
+		for _, v := range y {
+			totalPos += v
+		}
+		for _, i := range train {
+			trainPos += y[i]
+		}
+		overall := float64(totalPos) / float64(n)
+		inTrain := float64(trainPos) / float64(len(train))
+		return math.Abs(overall-inTrain) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStratifiedSplitPanicsOnBadFrac(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StratifiedSplit([]int{0, 1}, 1.5, tensor.NewRNG(1))
+}
+
+func TestKFoldPartitions(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	rows := make([]int, 23)
+	for i := range rows {
+		rows[i] = i * 2 // non-contiguous ids
+	}
+	folds := KFold(rows, 5, rng)
+	if len(folds) != 5 {
+		t.Fatalf("%d folds, want 5", len(folds))
+	}
+	seen := map[int]int{}
+	for _, f := range folds {
+		train, val := f[0], f[1]
+		if len(train)+len(val) != len(rows) {
+			t.Fatal("fold does not cover all rows")
+		}
+		inVal := map[int]bool{}
+		for _, v := range val {
+			seen[v]++
+			inVal[v] = true
+		}
+		for _, tr := range train {
+			if inVal[tr] {
+				t.Fatal("train/val overlap")
+			}
+		}
+	}
+	for _, r := range rows {
+		if seen[r] != 1 {
+			t.Fatalf("row %d appears in %d validation folds, want 1", r, seen[r])
+		}
+	}
+}
+
+func TestKFoldPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KFold([]int{1, 2, 3}, 1, tensor.NewRNG(1))
+}

@@ -1,0 +1,45 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEncoderRobustness feeds the preprocessing pipeline adversarial
+// continuous values (NaN, infinities are skipped, huge magnitudes, constant
+// columns) and checks the outputs stay finite with stable width.
+func FuzzEncoderRobustness(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, uint8(0))
+	f.Add(0.0, 0.0, 0.0, 0.0, uint8(1))
+	f.Add(1e15, -1e15, 1e-300, 5.0, uint8(2))
+	f.Add(math.NaN(), 1.0, math.NaN(), 2.0, uint8(3))
+	f.Fuzz(func(t *testing.T, a, b, c, d float64, catSeed uint8) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsInf(v, 0) {
+				t.Skip("infinities are not valid measurements")
+			}
+		}
+		raw := &RawTable{
+			Cards:         []int{3},
+			HasMissingCat: true,
+			Cat: [][]int{
+				{int(catSeed % 3)}, {-1}, {int((catSeed + 1) % 3)}, {0},
+			},
+			Cont: [][]float64{{a}, {b}, {c}, {d}},
+			Y:    []int{0, 1, 0, 1},
+		}
+		enc := FitEncoder(raw, []int{0, 1, 2, 3})
+		task := enc.Encode("fuzz", raw)
+		if task.NumFeatures() != 5 { // 3 cats + missing class + 1 continuous
+			t.Fatalf("width = %d, want 5", task.NumFeatures())
+		}
+		for i, row := range task.X {
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite encoded value at (%d,%d) for inputs %v",
+						i, j, []float64{a, b, c, d})
+				}
+			}
+		}
+	})
+}

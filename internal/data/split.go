@@ -1,0 +1,69 @@
+package data
+
+import (
+	"fmt"
+
+	"gmreg/internal/tensor"
+)
+
+// StratifiedSplit partitions the sample indices into train and test sets
+// with the given train fraction, preserving the class proportions within
+// each class (the paper's "5 subsamples via stratified sampling with a 80-20
+// train test split", §V-C). The split is deterministic given the RNG state.
+func StratifiedSplit(y []int, trainFrac float64, rng *tensor.RNG) (train, test []int) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("data: trainFrac %v out of (0,1)", trainFrac))
+	}
+	byClass := map[int][]int{}
+	var classes []int
+	for i, label := range y {
+		if _, ok := byClass[label]; !ok {
+			classes = append(classes, label)
+		}
+		byClass[label] = append(byClass[label], i)
+	}
+	for _, cl := range classes {
+		idx := byClass[cl]
+		perm := rng.Perm(len(idx))
+		nTrain := int(float64(len(idx))*trainFrac + 0.5)
+		if nTrain == len(idx) && len(idx) > 1 {
+			nTrain--
+		}
+		if nTrain == 0 && len(idx) > 1 {
+			nTrain = 1
+		}
+		for p, j := range perm {
+			if p < nTrain {
+				train = append(train, idx[j])
+			} else {
+				test = append(test, idx[j])
+			}
+		}
+	}
+	return train, test
+}
+
+// KFold splits rows into k folds and returns, for each fold, the (train,
+// validation) index pair. Used for the cross-validation that tunes the
+// baseline regularization strengths.
+func KFold(rows []int, k int, rng *tensor.RNG) [][2][]int {
+	if k < 2 || k > len(rows) {
+		panic(fmt.Sprintf("data: k=%d invalid for %d rows", k, len(rows)))
+	}
+	perm := rng.Perm(len(rows))
+	shuffled := make([]int, len(rows))
+	for i, p := range perm {
+		shuffled[i] = rows[p]
+	}
+	folds := make([][2][]int, k)
+	for f := 0; f < k; f++ {
+		lo := f * len(rows) / k
+		hi := (f + 1) * len(rows) / k
+		val := append([]int(nil), shuffled[lo:hi]...)
+		train := make([]int, 0, len(rows)-len(val))
+		train = append(train, shuffled[:lo]...)
+		train = append(train, shuffled[hi:]...)
+		folds[f] = [2][]int{train, val}
+	}
+	return folds
+}

@@ -1,0 +1,181 @@
+// Package dist provides the distributed-training substrate standing in for
+// Apache SINGA in the paper's GEMINI stack (Fig. 1): synchronous data-parallel
+// SGD with a parameter server. Workers (goroutines, simulating cluster nodes)
+// each compute the data-misfit gradient of their minibatch shard; the server
+// averages the shards, adds the regularization gradient — this is where the
+// GM tool plugs in, exactly one greg evaluation per global step, like the
+// paper's server-side integration — and applies the momentum update to the
+// single authoritative parameter copy.
+//
+// Synchronous data parallelism is mathematically equivalent to sequential
+// minibatch SGD over the concatenated shard, which the tests verify; the
+// package exists so that the regularizer's contract (one stateful GM per
+// parameter group, stepped once per global iteration) is exercised under a
+// realistic multi-node execution structure.
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gmreg/internal/data"
+	"gmreg/internal/models"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+	"gmreg/internal/train"
+)
+
+// Config configures a distributed logistic-regression training run.
+type Config struct {
+	// Workers is the number of data-parallel workers (≥ 1).
+	Workers int
+	// SGD is the optimizer configuration; BatchSize is the global batch,
+	// split evenly across workers.
+	SGD train.SGDConfig
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("dist: need at least 1 worker, got %d", c.Workers)
+	}
+	if c.SGD.BatchSize < c.Workers {
+		return fmt.Errorf("dist: global batch %d smaller than worker count %d",
+			c.SGD.BatchSize, c.Workers)
+	}
+	if c.SGD.BarzilaiBorwein {
+		return fmt.Errorf("dist: Barzilai–Borwein steps are not supported distributed")
+	}
+	return c.SGD.Validate()
+}
+
+// Result bundles the trained model, the server-side regularizer and history.
+type Result struct {
+	Model       *models.LogisticRegression
+	Regularizer reg.Regularizer
+	History     *train.History
+}
+
+// shardGrad is one worker's contribution to a global step.
+type shardGrad struct {
+	gw   []float64
+	gb   float64
+	loss float64
+	n    int
+}
+
+// LogReg trains logistic regression with synchronous data-parallel SGD. The
+// parameter server owns the weights and the regularizer; workers compute
+// shard gradients concurrently against a read-only snapshot of the weights
+// for each global step.
+func LogReg(task *data.Task, trainRows []int, cfg Config, factory reg.Factory) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trainRows) == 0 {
+		return nil, fmt.Errorf("dist: no training rows")
+	}
+	m := task.NumFeatures()
+	rng := tensor.NewRNG(cfg.SGD.Seed)
+	const initStd = 0.1
+	model := models.NewLogisticRegression(m, initStd, rng)
+	r := factory(m, initStd)
+
+	batch := cfg.SGD.BatchSize
+	if batch > len(trainRows) {
+		batch = len(trainRows)
+	}
+	nBatches := (len(trainRows) + batch - 1) / batch
+	if ea, ok := r.(train.EpochAware); ok {
+		ea.SetBatchesPerEpoch(nBatches)
+	}
+	regScale := 1 / float64(len(trainRows))
+
+	greg := make([]float64, m)
+	agg := make([]float64, m)
+	vel := make([]float64, m)
+	var velB float64
+	hist := &train.History{}
+	rows := append([]int(nil), trainRows...)
+
+	results := make([]shardGrad, cfg.Workers)
+	for w := range results {
+		results[w].gw = make([]float64, m)
+	}
+
+	start := time.Now()
+	for epoch := 0; epoch < cfg.SGD.Epochs; epoch++ {
+		shuffleRows(rows, rng)
+		var epochLoss float64
+		for b := 0; b < nBatches; b++ {
+			lo, hi := b*batch, (b+1)*batch
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			global := rows[lo:hi]
+			// Scatter: split the global batch across workers.
+			var wg sync.WaitGroup
+			for w := 0; w < cfg.Workers; w++ {
+				shard := global[w*len(global)/cfg.Workers : (w+1)*len(global)/cfg.Workers]
+				wg.Add(1)
+				go func(w int, shard []int) {
+					defer wg.Done()
+					res := &results[w]
+					res.n = len(shard)
+					if len(shard) == 0 {
+						res.loss = 0
+						for i := range res.gw {
+							res.gw[i] = 0
+						}
+						res.gb = 0
+						return
+					}
+					res.loss, res.gb = model.LossGrad(task.X, task.Y, shard, res.gw)
+				}(w, shard)
+			}
+			wg.Wait()
+			// Gather: average shard gradients weighted by shard size, so the
+			// aggregate equals the sequential batch-mean gradient.
+			for i := range agg {
+				agg[i] = 0
+			}
+			var aggB, loss float64
+			total := 0
+			for w := range results {
+				if results[w].n == 0 {
+					continue
+				}
+				frac := float64(results[w].n)
+				tensor.Axpy(frac, results[w].gw, agg)
+				aggB += frac * results[w].gb
+				loss += frac * results[w].loss
+				total += results[w].n
+			}
+			inv := 1 / float64(total)
+			tensor.Scale(inv, agg)
+			aggB *= inv
+			epochLoss += loss * inv
+			// Server-side regularization and update.
+			r.Grad(model.W, greg)
+			tensor.Axpy(regScale, greg, agg)
+			lr := cfg.SGD.LearningRate
+			for i := range vel {
+				vel[i] = cfg.SGD.Momentum*vel[i] - lr*agg[i]
+				model.W[i] += vel[i]
+			}
+			velB = cfg.SGD.Momentum*velB - lr*aggB
+			model.B += velB
+		}
+		hist.EpochLoss = append(hist.EpochLoss, epochLoss/float64(nBatches))
+		hist.EpochTime = append(hist.EpochTime, time.Since(start))
+	}
+	return &Result{Model: model, Regularizer: r, History: hist}, nil
+}
+
+func shuffleRows(rows []int, rng *tensor.RNG) {
+	for i := len(rows) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		rows[i], rows[j] = rows[j], rows[i]
+	}
+}

@@ -1,0 +1,220 @@
+// Package epic is the bulk-processing substrate standing in for epiC in the
+// paper's GEMINI stack (Fig. 1): partitioned parallel aggregation and
+// summarization over in-memory datasets — the "big data processing and
+// analytics such as aggregation and summarization" role. It provides a
+// generic map/combine aggregation kernel plus dataset summarization built on
+// it.
+package epic
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// MapReduce partitions items across workers; each worker maps every item to
+// a (key, value) pair and combines values per key locally, then the local
+// tables are merged with the same combiner. The combiner must be associative
+// and commutative for the result to be partition-invariant (which the tests
+// verify).
+func MapReduce[T any, K comparable, V any](
+	items []T,
+	workers int,
+	mapper func(T) (K, V),
+	combiner func(V, V) V,
+) map[K]V {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		out := map[K]V{}
+		for _, it := range items {
+			k, v := mapper(it)
+			if old, ok := out[k]; ok {
+				v = combiner(old, v)
+			}
+			out[k] = v
+		}
+		return out
+	}
+	locals := make([]map[K]V, workers)
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			locals[w] = map[K]V{}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := map[K]V{}
+			for _, it := range items[lo:hi] {
+				k, v := mapper(it)
+				if old, ok := local[k]; ok {
+					v = combiner(old, v)
+				}
+				local[k] = v
+			}
+			locals[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := map[K]V{}
+	for _, local := range locals {
+		for k, v := range local {
+			if old, ok := out[k]; ok {
+				v = combiner(old, v)
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// ColumnSummary is the per-feature profile Summarize produces.
+type ColumnSummary struct {
+	Count     int
+	Missing   int
+	Min, Max  float64
+	Mean, Std float64
+	// Zeros counts exact zeros — for one-hot columns this reveals sparsity.
+	Zeros int
+}
+
+// String renders the summary compactly.
+func (c ColumnSummary) String() string {
+	return fmt.Sprintf("n=%d missing=%d range=[%.3g, %.3g] mean=%.3g std=%.3g zeros=%d",
+		c.Count, c.Missing, c.Min, c.Max, c.Mean, c.Std, c.Zeros)
+}
+
+// colAccum is the mergeable partial state behind a ColumnSummary.
+type colAccum struct {
+	n, missing, zeros int
+	min, max          float64
+	sum, sumSq        float64
+}
+
+func newColAccum() colAccum {
+	return colAccum{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (a colAccum) add(v float64) colAccum {
+	if math.IsNaN(v) {
+		a.missing++
+		return a
+	}
+	a.n++
+	if v == 0 {
+		a.zeros++
+	}
+	a.min = math.Min(a.min, v)
+	a.max = math.Max(a.max, v)
+	a.sum += v
+	a.sumSq += v * v
+	return a
+}
+
+func (a colAccum) merge(b colAccum) colAccum {
+	return colAccum{
+		n:       a.n + b.n,
+		missing: a.missing + b.missing,
+		zeros:   a.zeros + b.zeros,
+		min:     math.Min(a.min, b.min),
+		max:     math.Max(a.max, b.max),
+		sum:     a.sum + b.sum,
+		sumSq:   a.sumSq + b.sumSq,
+	}
+}
+
+func (a colAccum) summary() ColumnSummary {
+	s := ColumnSummary{
+		Count:   a.n,
+		Missing: a.missing,
+		Zeros:   a.zeros,
+		Min:     a.min,
+		Max:     a.max,
+	}
+	if a.n > 0 {
+		s.Mean = a.sum / float64(a.n)
+		variance := a.sumSq/float64(a.n) - s.Mean*s.Mean
+		if variance > 0 {
+			s.Std = math.Sqrt(variance)
+		}
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// Summarize profiles every column of a dense row-major dataset in parallel
+// (rows partitioned across workers, per-column accumulators merged).
+func Summarize(rows [][]float64, workers int) ([]ColumnSummary, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("epic: no rows")
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
+			return nil, fmt.Errorf("epic: row %d has %d columns, want %d", i, len(r), width)
+		}
+	}
+	type rowChunk struct{ lo, hi int }
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	var chunks []rowChunk
+	chunk := (len(rows) + workers - 1) / workers
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		chunks = append(chunks, rowChunk{lo, hi})
+	}
+	partials := make([][]colAccum, len(chunks))
+	var wg sync.WaitGroup
+	for ci, c := range chunks {
+		wg.Add(1)
+		go func(ci int, c rowChunk) {
+			defer wg.Done()
+			accs := make([]colAccum, width)
+			for j := range accs {
+				accs[j] = newColAccum()
+			}
+			for _, row := range rows[c.lo:c.hi] {
+				for j, v := range row {
+					accs[j] = accs[j].add(v)
+				}
+			}
+			partials[ci] = accs
+		}(ci, c)
+	}
+	wg.Wait()
+	merged := make([]colAccum, width)
+	for j := range merged {
+		merged[j] = newColAccum()
+	}
+	for _, accs := range partials {
+		for j := range merged {
+			merged[j] = merged[j].merge(accs[j])
+		}
+	}
+	out := make([]ColumnSummary, width)
+	for j := range merged {
+		out[j] = merged[j].summary()
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package epic
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gmreg/internal/tensor"
+)
+
+func TestMapReduceWordCountStyle(t *testing.T) {
+	items := []int{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}
+	counts := MapReduce(items, 4,
+		func(x int) (int, int) { return x, 1 },
+		func(a, b int) int { return a + b },
+	)
+	want := map[int]int{1: 1, 2: 2, 3: 3, 4: 4}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Fatalf("counts[%d] = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+// Partition invariance: any worker count yields the serial result for an
+// associative, commutative combiner.
+func TestMapReduceWorkerInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(300)
+		items := make([]float64, n)
+		rng.FillNormal(items, 0, 1)
+		mapper := func(x float64) (int, float64) {
+			k := 0
+			if x > 0 {
+				k = 1
+			}
+			return k, x
+		}
+		sum := func(a, b float64) float64 { return a + b }
+		serial := MapReduce(items, 1, mapper, sum)
+		for _, workers := range []int{2, 3, 7, 100} {
+			par := MapReduce(items, workers, mapper, sum)
+			if len(par) != len(serial) {
+				return false
+			}
+			for k, v := range serial {
+				if math.Abs(par[k]-v) > 1e-9*(1+math.Abs(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReduceEmptyAndAuto(t *testing.T) {
+	out := MapReduce(nil, 0, func(x int) (int, int) { return x, 1 }, func(a, b int) int { return a + b })
+	if len(out) != 0 {
+		t.Fatalf("empty input produced %v", out)
+	}
+	// workers < 1 auto-detects without panicking.
+	out = MapReduce([]int{1, 2}, -5, func(x int) (int, int) { return 0, x }, func(a, b int) int { return a + b })
+	if out[0] != 3 {
+		t.Fatalf("auto-worker sum = %d", out[0])
+	}
+}
+
+func TestSummarizeKnownColumns(t *testing.T) {
+	rows := [][]float64{
+		{1, 0, math.NaN()},
+		{3, 0, 5},
+		{5, 0, 7},
+	}
+	sums, err := Summarize(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := sums[0]
+	if c0.Count != 3 || c0.Min != 1 || c0.Max != 5 || math.Abs(c0.Mean-3) > 1e-12 {
+		t.Fatalf("col0 = %+v", c0)
+	}
+	if math.Abs(c0.Std-math.Sqrt(8.0/3.0)) > 1e-12 {
+		t.Fatalf("col0 std = %v", c0.Std)
+	}
+	c1 := sums[1]
+	if c1.Zeros != 3 || c1.Std != 0 {
+		t.Fatalf("col1 = %+v", c1)
+	}
+	c2 := sums[2]
+	if c2.Missing != 1 || c2.Count != 2 || c2.Min != 5 || c2.Max != 7 {
+		t.Fatalf("col2 = %+v", c2)
+	}
+}
+
+func TestSummarizeWorkerInvariance(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	rows := make([][]float64, 123)
+	for i := range rows {
+		rows[i] = make([]float64, 7)
+		rng.FillNormal(rows[i], 0, 2)
+		if i%11 == 0 {
+			rows[i][3] = math.NaN()
+		}
+	}
+	base, err := Summarize(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 64} {
+		got, err := Summarize(rows, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range base {
+			if got[j].Count != base[j].Count || got[j].Missing != base[j].Missing ||
+				got[j].Zeros != base[j].Zeros ||
+				math.Abs(got[j].Mean-base[j].Mean) > 1e-9 ||
+				math.Abs(got[j].Std-base[j].Std) > 1e-9 ||
+				got[j].Min != base[j].Min || got[j].Max != base[j].Max {
+				t.Fatalf("workers=%d col %d: %+v vs %+v", workers, j, got[j], base[j])
+			}
+		}
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil, 2); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Summarize([][]float64{{1, 2}, {3}}, 2); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestColumnSummaryString(t *testing.T) {
+	s := ColumnSummary{Count: 3, Mean: 1.5}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatalf("summary string = %q", s.String())
+	}
+}

@@ -1,0 +1,47 @@
+package epic_test
+
+import (
+	"fmt"
+
+	"gmreg/internal/epic"
+)
+
+// Parallel keyed aggregation: readmission counts per ward.
+func ExampleMapReduce() {
+	type visit struct {
+		ward       string
+		readmitted int
+	}
+	visits := []visit{
+		{"cardiology", 1}, {"cardiology", 0}, {"cardiology", 1},
+		{"oncology", 1}, {"oncology", 1},
+		{"maternity", 0},
+	}
+	counts := epic.MapReduce(visits, 4,
+		func(v visit) (string, int) { return v.ward, v.readmitted },
+		func(a, b int) int { return a + b },
+	)
+	fmt.Println("cardiology:", counts["cardiology"])
+	fmt.Println("oncology:  ", counts["oncology"])
+	fmt.Println("maternity: ", counts["maternity"])
+	// Output:
+	// cardiology: 2
+	// oncology:   2
+	// maternity:  0
+}
+
+// Column profiling of a dataset, partitioned across workers.
+func ExampleSummarize() {
+	rows := [][]float64{
+		{1, 10},
+		{2, 20},
+		{3, 30},
+		{4, 40},
+	}
+	sums, _ := epic.Summarize(rows, 2)
+	fmt.Printf("col0: mean %.1f range [%.0f, %.0f]\n", sums[0].Mean, sums[0].Min, sums[0].Max)
+	fmt.Printf("col1: mean %.1f range [%.0f, %.0f]\n", sums[1].Mean, sums[1].Min, sums[1].Max)
+	// Output:
+	// col0: mean 2.5 range [1, 4]
+	// col1: mean 25.0 range [10, 40]
+}

@@ -1,0 +1,254 @@
+// Package eval implements the paper's evaluation protocol for the small
+// datasets (§V-C): repeated stratified 80/20 subsampling, k-fold
+// cross-validation to put every baseline regularizer at its best
+// hyper-parameter setting, and accuracy reported as mean ± standard error —
+// the numbers of Table VII.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"gmreg/internal/core"
+	"gmreg/internal/data"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+	"gmreg/internal/train"
+)
+
+// MeanStderr returns the sample mean and the standard error of the mean
+// (σ/√n with the n−1 variance estimator), the two numbers each Table VII
+// cell reports.
+func MeanStderr(xs []float64) (mean, stderr float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}
+
+// Candidate is one hyper-parameter setting of one regularization method.
+type Candidate struct {
+	// Method is the method name ("L2 Reg", "GM Reg", ...).
+	Method string
+	// Setting describes the hyper-parameters, e.g. "β=0.1".
+	Setting string
+	// Factory builds the regularizer.
+	Factory reg.Factory
+}
+
+// betaGrid is the strength grid shared by the fixed-norm baselines.
+var betaGrid = []float64{0.01, 0.1, 0.5, 1, 5, 10, 50, 100}
+
+// L1Grid returns the L1 baseline's candidate settings.
+func L1Grid() []Candidate {
+	var cs []Candidate
+	for _, b := range betaGrid {
+		cs = append(cs, Candidate{
+			Method:  "L1 Reg",
+			Setting: fmt.Sprintf("β=%g", b),
+			Factory: reg.Fixed(reg.L1{Beta: b}),
+		})
+	}
+	return cs
+}
+
+// L2Grid returns the L2 baseline's candidate settings.
+func L2Grid() []Candidate {
+	var cs []Candidate
+	for _, b := range betaGrid {
+		cs = append(cs, Candidate{
+			Method:  "L2 Reg",
+			Setting: fmt.Sprintf("β=%g", b),
+			Factory: reg.Fixed(reg.L2{Beta: b}),
+		})
+	}
+	return cs
+}
+
+// ElasticNetGrid returns the Elastic-net baseline's strength × l1-ratio grid.
+func ElasticNetGrid() []Candidate {
+	var cs []Candidate
+	for _, b := range betaGrid {
+		for _, ratio := range []float64{0.15, 0.5, 0.85} {
+			cs = append(cs, Candidate{
+				Method:  "Elastic-net Reg",
+				Setting: fmt.Sprintf("β=%g ratio=%g", b, ratio),
+				Factory: reg.Fixed(reg.ElasticNet{Beta: b, L1Ratio: ratio}),
+			})
+		}
+	}
+	return cs
+}
+
+// HuberGrid returns the Huber baseline's strength × threshold grid (the
+// paper's μ and λ).
+func HuberGrid() []Candidate {
+	var cs []Candidate
+	for _, b := range betaGrid {
+		for _, mu := range []float64{0.01, 0.1, 1} {
+			cs = append(cs, Candidate{
+				Method:  "Huber Reg",
+				Setting: fmt.Sprintf("β=%g μ=%g", b, mu),
+				Factory: reg.Fixed(reg.Huber{Beta: b, Mu: mu}),
+			})
+		}
+	}
+	return cs
+}
+
+// GMGrid returns the adaptive GM regularizer's candidates — the paper's γ
+// grid (§V-B1) with everything else on the automatic recipe.
+func GMGrid() []Candidate {
+	var cs []Candidate
+	for _, gamma := range core.GammaGrid {
+		g := gamma
+		cs = append(cs, Candidate{
+			Method:  "GM Reg",
+			Setting: fmt.Sprintf("γ=%g", g),
+			Factory: func(m int, initStd float64) reg.Regularizer {
+				c := core.DefaultConfig(initStd)
+				c.Gamma = g
+				return core.MustNewGM(m, c)
+			},
+		})
+	}
+	return cs
+}
+
+// MethodGrids returns the five methods of Table VII with their grids, in the
+// paper's column order.
+func MethodGrids() map[string][]Candidate {
+	return map[string][]Candidate{
+		"L1 Reg":          L1Grid(),
+		"L2 Reg":          L2Grid(),
+		"Elastic-net Reg": ElasticNetGrid(),
+		"Huber Reg":       HuberGrid(),
+		"GM Reg":          GMGrid(),
+	}
+}
+
+// MethodOrder is the column order of Table VII.
+var MethodOrder = []string{"L1 Reg", "L2 Reg", "Elastic-net Reg", "Huber Reg", "GM Reg"}
+
+// CrossValidate returns the mean validation accuracy of a candidate over a
+// k-fold split of the given training rows.
+func CrossValidate(task *data.Task, rows []int, k int, cfg train.SGDConfig, c Candidate, seed uint64) (float64, error) {
+	folds := data.KFold(rows, k, tensor.NewRNG(seed))
+	var sum float64
+	for fi, fold := range folds {
+		foldCfg := cfg
+		foldCfg.Seed = seed + uint64(fi) + 1
+		res, err := train.LogReg(task, fold[0], foldCfg, c.Factory)
+		if err != nil {
+			return 0, err
+		}
+		sum += res.Model.Accuracy(task.X, task.Y, fold[1])
+	}
+	return sum / float64(k), nil
+}
+
+// SelectBest cross-validates every candidate and returns the winner (ties
+// break towards the earlier candidate, making selection deterministic).
+func SelectBest(task *data.Task, rows []int, k int, cfg train.SGDConfig, cands []Candidate, seed uint64) (Candidate, float64, error) {
+	if len(cands) == 0 {
+		return Candidate{}, 0, fmt.Errorf("eval: no candidates")
+	}
+	best, bestAcc := cands[0], -1.0
+	for _, c := range cands {
+		acc, err := CrossValidate(task, rows, k, cfg, c, seed)
+		if err != nil {
+			return Candidate{}, 0, err
+		}
+		if acc > bestAcc {
+			best, bestAcc = c, acc
+		}
+	}
+	return best, bestAcc, nil
+}
+
+// ProtocolConfig tunes the Table VII evaluation protocol.
+type ProtocolConfig struct {
+	// Repeats is the number of stratified subsamples (the paper uses 5).
+	Repeats int
+	// TrainFrac is the train share of each split (the paper uses 0.8).
+	TrainFrac float64
+	// CVFolds is the fold count for hyper-parameter selection.
+	CVFolds int
+	// SGD configures the optimizer for every run.
+	SGD train.SGDConfig
+	// Seed makes the protocol deterministic.
+	Seed uint64
+}
+
+// DefaultProtocol returns the paper's protocol with an SGD budget sized for
+// the small datasets.
+func DefaultProtocol(seed uint64) ProtocolConfig {
+	return ProtocolConfig{
+		Repeats:   5,
+		TrainFrac: 0.8,
+		CVFolds:   3,
+		SGD: train.SGDConfig{
+			LearningRate: 0.1,
+			Momentum:     0.9,
+			Epochs:       150,
+			BatchSize:    32,
+		},
+		Seed: seed,
+	}
+}
+
+// MethodResult is one Table VII cell: a method's accuracy mean ± stderr on
+// one dataset, plus the settings chosen per repeat.
+type MethodResult struct {
+	Method     string
+	Accuracies []float64
+	Mean       float64
+	Stderr     float64
+	Settings   []string
+}
+
+// RunProtocol evaluates one method (grid of candidates) on one task per the
+// paper's protocol: for each repeat, a stratified split, hyper-parameter
+// selection by CV on the training part, a final fit on the full training
+// part, and accuracy on the held-out part.
+func RunProtocol(task *data.Task, cands []Candidate, cfg ProtocolConfig) (*MethodResult, error) {
+	if cfg.Repeats < 1 {
+		return nil, fmt.Errorf("eval: repeats must be at least 1")
+	}
+	res := &MethodResult{Method: cands[0].Method}
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		splitRNG := tensor.NewRNG(cfg.Seed + uint64(rep)*1000)
+		trainRows, testRows := data.StratifiedSplit(task.Y, cfg.TrainFrac, splitRNG)
+		best := cands[0]
+		if len(cands) > 1 {
+			var err error
+			best, _, err = SelectBest(task, trainRows, cfg.CVFolds, cfg.SGD, cands, cfg.Seed+uint64(rep))
+			if err != nil {
+				return nil, err
+			}
+		}
+		finalCfg := cfg.SGD
+		finalCfg.Seed = cfg.Seed + uint64(rep)*7 + 3
+		fit, err := train.LogReg(task, trainRows, finalCfg, best.Factory)
+		if err != nil {
+			return nil, err
+		}
+		res.Accuracies = append(res.Accuracies, fit.Model.Accuracy(task.X, task.Y, testRows))
+		res.Settings = append(res.Settings, best.Setting)
+	}
+	res.Mean, res.Stderr = MeanStderr(res.Accuracies)
+	return res, nil
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/data"
+	"gmreg/internal/reg"
+	"gmreg/internal/train"
+)
+
+func TestMeanStderr(t *testing.T) {
+	m, s := MeanStderr(nil)
+	if m != 0 || s != 0 {
+		t.Fatal("empty input must yield zeros")
+	}
+	m, s = MeanStderr([]float64{5})
+	if m != 5 || s != 0 {
+		t.Fatal("single value: mean 5, stderr 0")
+	}
+	// Known: values 2,4,4,4,5,5,7,9 → mean 5, sample sd √(32/7), se = sd/√8.
+	m, s = MeanStderr([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	want := math.Sqrt(32.0/7.0) / math.Sqrt(8)
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("stderr = %v, want %v", s, want)
+	}
+}
+
+func TestGridSizesAndLabels(t *testing.T) {
+	if got := len(L1Grid()); got != 8 {
+		t.Errorf("L1 grid size %d, want 8", got)
+	}
+	if got := len(L2Grid()); got != 8 {
+		t.Errorf("L2 grid size %d, want 8", got)
+	}
+	if got := len(ElasticNetGrid()); got != 24 {
+		t.Errorf("Elastic-net grid size %d, want 24", got)
+	}
+	if got := len(HuberGrid()); got != 24 {
+		t.Errorf("Huber grid size %d, want 24", got)
+	}
+	// GM grid matches the paper's γ grid (§V-B1).
+	if got := len(GMGrid()); got != 8 {
+		t.Errorf("GM grid size %d, want 8", got)
+	}
+	grids := MethodGrids()
+	if len(grids) != 5 {
+		t.Fatalf("%d method grids, want 5", len(grids))
+	}
+	for _, method := range MethodOrder {
+		cands, ok := grids[method]
+		if !ok || len(cands) == 0 {
+			t.Fatalf("missing grid for %s", method)
+		}
+		for _, c := range cands {
+			if c.Method != method {
+				t.Fatalf("candidate method %q under grid %q", c.Method, method)
+			}
+			r := c.Factory(10, 0.1)
+			if r.Name() != method && method != "GM Reg" {
+				t.Fatalf("factory for %s built %s", method, r.Name())
+			}
+		}
+	}
+}
+
+func fastSGD() train.SGDConfig {
+	return train.SGDConfig{LearningRate: 0.5, Momentum: 0.9, Epochs: 12, BatchSize: 64}
+}
+
+func TestCrossValidateAndSelectBest(t *testing.T) {
+	task, err := data.LoadUCI("climate-model", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	cands := []Candidate{
+		{Method: "L2 Reg", Setting: "sane", Factory: reg.Fixed(reg.L2{Beta: 1})},
+		{Method: "L2 Reg", Setting: "absurd", Factory: reg.Fixed(reg.L2{Beta: 1e7})},
+	}
+	accSane, err := CrossValidate(task, rows, 3, fastSGD(), cands[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accAbsurd, err := CrossValidate(task, rows, 3, fastSGD(), cands[1], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accSane <= accAbsurd {
+		t.Fatalf("CV could not separate β=1 (%v) from β=1e7 (%v)", accSane, accAbsurd)
+	}
+	best, bestAcc, err := SelectBest(task, rows, 3, fastSGD(), cands, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Setting != "sane" {
+		t.Fatalf("SelectBest chose %q", best.Setting)
+	}
+	if bestAcc != accSane {
+		t.Fatalf("best accuracy %v, want %v", bestAcc, accSane)
+	}
+	if _, _, err := SelectBest(task, rows, 3, fastSGD(), nil, 5); err == nil {
+		t.Fatal("expected error for empty candidate list")
+	}
+}
+
+func TestRunProtocolShapeAndDeterminism(t *testing.T) {
+	task, err := data.LoadUCI("hepatitis", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProtocolConfig{
+		Repeats:   3,
+		TrainFrac: 0.8,
+		CVFolds:   2,
+		SGD:       fastSGD(),
+		Seed:      11,
+	}
+	cands := []Candidate{{Method: "L2 Reg", Setting: "β=1", Factory: reg.Fixed(reg.L2{Beta: 1})}}
+	a, err := RunProtocol(task, cands, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Accuracies) != 3 || len(a.Settings) != 3 {
+		t.Fatalf("protocol produced %d accuracies", len(a.Accuracies))
+	}
+	if a.Mean < 0.5 {
+		t.Errorf("protocol mean accuracy %v suspiciously low", a.Mean)
+	}
+	b, err := RunProtocol(task, cands, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Accuracies {
+		if a.Accuracies[i] != b.Accuracies[i] {
+			t.Fatal("protocol not deterministic")
+		}
+	}
+	bad := cfg
+	bad.Repeats = 0
+	if _, err := RunProtocol(task, cands, bad); err == nil {
+		t.Fatal("expected error for zero repeats")
+	}
+}
+
+func TestDefaultProtocolMatchesPaper(t *testing.T) {
+	p := DefaultProtocol(1)
+	if p.Repeats != 5 {
+		t.Errorf("repeats = %d, want 5 (the paper's 5 subsamples)", p.Repeats)
+	}
+	if p.TrainFrac != 0.8 {
+		t.Errorf("train fraction = %v, want 0.8", p.TrainFrac)
+	}
+}

@@ -1,0 +1,37 @@
+package hpo_test
+
+import (
+	"fmt"
+	"math"
+
+	"gmreg/internal/hpo"
+)
+
+// Tune a regularization strength on a log scale with TPE. The objective
+// peaks at β = 0.1; each evaluation stands in for a full training run.
+func ExampleTPE() {
+	space := hpo.Space{Lo: []float64{1e-4}, Hi: []float64{1e2}, Log: []bool{true}}
+	objective := func(x []float64) float64 {
+		d := math.Log10(x[0]) + 1 // peak at 10^-1
+		return -d * d
+	}
+	res, _ := hpo.TPE(space, 30, objective, hpo.DefaultTPE(), 1)
+	fmt.Printf("evaluations: %d\n", res.Evals)
+	fmt.Printf("best β within one decade of 0.1: %v\n",
+		res.Best[0] > 0.01 && res.Best[0] < 1)
+	// Output:
+	// evaluations: 30
+	// best β within one decade of 0.1: true
+}
+
+// Random search over the same space — the cheap strong baseline of
+// Bergstra & Bengio (2012).
+func ExampleRandomSearch() {
+	space := hpo.Space{Lo: []float64{0}, Hi: []float64{1}}
+	objective := func(x []float64) float64 { return -(x[0] - 0.5) * (x[0] - 0.5) }
+	res, _ := hpo.RandomSearch(space, 50, objective, 7)
+	fmt.Printf("evaluations: %d, best within 0.1 of optimum: %v\n",
+		res.Evals, math.Abs(res.Best[0]-0.5) < 0.1)
+	// Output:
+	// evaluations: 50, best within 0.1 of optimum: true
+}

@@ -1,0 +1,300 @@
+// Package hpo implements the hyper-parameter optimization methods the
+// paper's related work (§VI-B) positions the adaptive regularizer against:
+// grid search, random search (Bergstra & Bengio 2012) and a Tree-structured
+// Parzen Estimator (Bergstra et al. 2011, "TPE") as the representative
+// Bayesian-optimization method. The experiment harness uses them to quantify
+// the tool's pitch: one adaptive training run versus a search loop of many
+// runs.
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gmreg/internal/tensor"
+)
+
+// Objective scores one hyper-parameter point; higher is better. Evaluations
+// are assumed expensive (each is a full training run), so every searcher
+// reports its evaluation count.
+type Objective func(x []float64) float64
+
+// Space is a box of hyper-parameters. Dimensions with Log set are searched
+// on a log scale (both bounds must then be positive), the natural scale for
+// regularization strengths.
+type Space struct {
+	Lo, Hi []float64
+	Log    []bool
+}
+
+// Validate reports the first problem with the space, or nil.
+func (s Space) Validate() error {
+	if len(s.Lo) == 0 || len(s.Lo) != len(s.Hi) {
+		return fmt.Errorf("hpo: bounds have lengths %d/%d", len(s.Lo), len(s.Hi))
+	}
+	if s.Log != nil && len(s.Log) != len(s.Lo) {
+		return fmt.Errorf("hpo: log flags have length %d, want %d", len(s.Log), len(s.Lo))
+	}
+	for d := range s.Lo {
+		if s.Lo[d] >= s.Hi[d] {
+			return fmt.Errorf("hpo: dimension %d has empty range [%v, %v]", d, s.Lo[d], s.Hi[d])
+		}
+		if s.logAt(d) && s.Lo[d] <= 0 {
+			return fmt.Errorf("hpo: dimension %d is log-scaled but lower bound %v ≤ 0", d, s.Lo[d])
+		}
+	}
+	return nil
+}
+
+// Dims returns the dimensionality of the space.
+func (s Space) Dims() int { return len(s.Lo) }
+
+func (s Space) logAt(d int) bool { return s.Log != nil && s.Log[d] }
+
+// toUnit maps a point into [0,1]^d (log scale where configured).
+func (s Space) toUnit(x []float64) []float64 {
+	u := make([]float64, len(x))
+	for d, v := range x {
+		if s.logAt(d) {
+			u[d] = (math.Log(v) - math.Log(s.Lo[d])) / (math.Log(s.Hi[d]) - math.Log(s.Lo[d]))
+		} else {
+			u[d] = (v - s.Lo[d]) / (s.Hi[d] - s.Lo[d])
+		}
+	}
+	return u
+}
+
+// fromUnit maps a unit-cube point back into the space, clamping to bounds.
+func (s Space) fromUnit(u []float64) []float64 {
+	x := make([]float64, len(u))
+	for d, v := range u {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		if s.logAt(d) {
+			x[d] = math.Exp(math.Log(s.Lo[d]) + v*(math.Log(s.Hi[d])-math.Log(s.Lo[d])))
+		} else {
+			x[d] = s.Lo[d] + v*(s.Hi[d]-s.Lo[d])
+		}
+	}
+	return x
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Best is the best point found; BestValue its objective value.
+	Best      []float64
+	BestValue float64
+	// Evals is the number of objective evaluations spent.
+	Evals int
+	// Trials records every evaluated (point, value) pair in order.
+	Trials []Trial
+}
+
+// Trial is one evaluated point.
+type Trial struct {
+	X     []float64
+	Value float64
+}
+
+func (r *Result) observe(x []float64, v float64) {
+	r.Trials = append(r.Trials, Trial{X: append([]float64(nil), x...), Value: v})
+	r.Evals++
+	if r.Best == nil || v > r.BestValue {
+		r.Best = append([]float64(nil), x...)
+		r.BestValue = v
+	}
+}
+
+// GridSearch evaluates a full Cartesian grid with pointsPerDim points per
+// dimension (log-spaced where configured) — §VI-B's "conventional method".
+func GridSearch(space Space, pointsPerDim int, obj Objective) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if pointsPerDim < 2 {
+		return nil, fmt.Errorf("hpo: need at least 2 points per dimension, got %d", pointsPerDim)
+	}
+	dims := space.Dims()
+	res := &Result{}
+	idx := make([]int, dims)
+	u := make([]float64, dims)
+	for {
+		for d := 0; d < dims; d++ {
+			u[d] = float64(idx[d]) / float64(pointsPerDim-1)
+		}
+		x := space.fromUnit(u)
+		res.observe(x, obj(x))
+		// Advance the mixed-radix counter.
+		d := 0
+		for ; d < dims; d++ {
+			idx[d]++
+			if idx[d] < pointsPerDim {
+				break
+			}
+			idx[d] = 0
+		}
+		if d == dims {
+			return res, nil
+		}
+	}
+}
+
+// RandomSearch evaluates budget uniform points (uniform in the transformed
+// space), the stronger-than-grid baseline of Bergstra & Bengio 2012.
+func RandomSearch(space Space, budget int, obj Objective, seed uint64) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("hpo: budget must be positive, got %d", budget)
+	}
+	rng := tensor.NewRNG(seed)
+	res := &Result{}
+	u := make([]float64, space.Dims())
+	for i := 0; i < budget; i++ {
+		for d := range u {
+			u[d] = rng.Float64()
+		}
+		x := space.fromUnit(u)
+		res.observe(x, obj(x))
+	}
+	return res, nil
+}
+
+// TPEConfig tunes the Parzen-estimator search.
+type TPEConfig struct {
+	// Startup is the number of initial random evaluations.
+	Startup int
+	// GoodFraction is the γ quantile splitting observations into the
+	// "good" and "bad" sets.
+	GoodFraction float64
+	// Candidates is the number of samples drawn from the good-set density
+	// per iteration; the one maximizing l(x)/g(x) is evaluated.
+	Candidates int
+	// Bandwidth is the Parzen kernel width in unit-cube coordinates.
+	Bandwidth float64
+}
+
+// DefaultTPE returns sensible defaults for small budgets.
+func DefaultTPE() TPEConfig {
+	return TPEConfig{Startup: 5, GoodFraction: 0.25, Candidates: 24, Bandwidth: 0.12}
+}
+
+// TPE runs the Tree-structured Parzen Estimator: after a random start-up
+// phase, observations are split at the GoodFraction quantile; candidate
+// points are sampled from a Parzen (Gaussian-kernel) density over the good
+// set and ranked by the density ratio l(x)/g(x), and the best candidate is
+// evaluated next. This is the Hyperopt-style expected-improvement surrogate
+// in ~100 lines.
+func TPE(space Space, budget int, obj Objective, cfg TPEConfig, seed uint64) (*Result, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("hpo: budget must be positive, got %d", budget)
+	}
+	if cfg.Startup < 1 || cfg.GoodFraction <= 0 || cfg.GoodFraction >= 1 ||
+		cfg.Candidates < 1 || cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("hpo: invalid TPE config %+v", cfg)
+	}
+	rng := tensor.NewRNG(seed)
+	res := &Result{}
+	var unitPoints [][]float64 // evaluated points in unit coordinates
+	evalAt := func(u []float64) {
+		x := space.fromUnit(u)
+		res.observe(x, obj(x))
+		unitPoints = append(unitPoints, append([]float64(nil), u...))
+	}
+	dims := space.Dims()
+	for i := 0; i < budget; i++ {
+		if i < cfg.Startup {
+			u := make([]float64, dims)
+			for d := range u {
+				u[d] = rng.Float64()
+			}
+			evalAt(u)
+			continue
+		}
+		// Split observed points into good (top GoodFraction) and bad.
+		order := make([]int, len(res.Trials))
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return res.Trials[order[a]].Value > res.Trials[order[b]].Value
+		})
+		nGood := int(math.Ceil(cfg.GoodFraction * float64(len(order))))
+		if nGood < 1 {
+			nGood = 1
+		}
+		good := make([][]float64, 0, nGood)
+		bad := make([][]float64, 0, len(order)-nGood)
+		for rank, j := range order {
+			if rank < nGood {
+				good = append(good, unitPoints[j])
+			} else {
+				bad = append(bad, unitPoints[j])
+			}
+		}
+		// Sample candidates from the good-set Parzen density; score by the
+		// density ratio.
+		var bestU []float64
+		bestScore := math.Inf(-1)
+		for c := 0; c < cfg.Candidates; c++ {
+			centre := good[rng.Intn(len(good))]
+			u := make([]float64, dims)
+			for d := range u {
+				u[d] = centre[d] + cfg.Bandwidth*rng.NormFloat64()
+				if u[d] < 0 {
+					u[d] = -u[d]
+				}
+				if u[d] > 1 {
+					u[d] = 2 - u[d]
+				}
+				if u[d] < 0 || u[d] > 1 { // extreme excursions
+					u[d] = rng.Float64()
+				}
+			}
+			score := parzenLogDensity(u, good, cfg.Bandwidth) -
+				parzenLogDensity(u, bad, cfg.Bandwidth)
+			if score > bestScore {
+				bestScore = score
+				bestU = u
+			}
+		}
+		evalAt(bestU)
+	}
+	return res, nil
+}
+
+// parzenLogDensity returns the log of a Gaussian-kernel density estimate at
+// u; an empty point set contributes a flat (zero) log density.
+func parzenLogDensity(u []float64, points [][]float64, bw float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	inv2 := 1 / (2 * bw * bw)
+	maxLog := math.Inf(-1)
+	logs := make([]float64, len(points))
+	for i, p := range points {
+		var d2 float64
+		for d := range u {
+			diff := u[d] - p[d]
+			d2 += diff * diff
+		}
+		logs[i] = -d2 * inv2
+		if logs[i] > maxLog {
+			maxLog = logs[i]
+		}
+	}
+	var sum float64
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	return maxLog + math.Log(sum/float64(len(points)))
+}

@@ -1,0 +1,174 @@
+package hpo
+
+import (
+	"math"
+	"testing"
+)
+
+// bowl is a smooth unimodal objective peaked at (0.3, 5e-2 on log scale).
+func bowlSpace() Space {
+	return Space{Lo: []float64{0, 1e-4}, Hi: []float64{1, 1}, Log: []bool{false, true}}
+}
+
+func bowl(x []float64) float64 {
+	d1 := x[0] - 0.3
+	d2 := math.Log10(x[1]) - math.Log10(5e-2)
+	return -(d1*d1 + 0.1*d2*d2)
+}
+
+func TestSpaceValidate(t *testing.T) {
+	good := bowlSpace()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+	bad := []Space{
+		{},
+		{Lo: []float64{0}, Hi: []float64{0, 1}},
+		{Lo: []float64{1}, Hi: []float64{0}},
+		{Lo: []float64{0}, Hi: []float64{1}, Log: []bool{true}},
+		{Lo: []float64{0}, Hi: []float64{1}, Log: []bool{true, false}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad space %d accepted", i)
+		}
+	}
+}
+
+func TestUnitRoundTrip(t *testing.T) {
+	s := bowlSpace()
+	for _, x := range [][]float64{{0.1, 0.001}, {0.9, 0.5}, {0.3, 1e-4}} {
+		u := s.toUnit(x)
+		back := s.fromUnit(u)
+		for d := range x {
+			rel := math.Abs(back[d]-x[d]) / math.Max(1e-12, x[d])
+			if rel > 1e-9 && math.Abs(back[d]-x[d]) > 1e-12 {
+				t.Fatalf("round trip %v -> %v -> %v", x, u, back)
+			}
+		}
+		for _, v := range u {
+			if v < 0 || v > 1 {
+				t.Fatalf("unit coordinates out of range: %v", u)
+			}
+		}
+	}
+	// fromUnit clamps.
+	out := s.fromUnit([]float64{-0.5, 2})
+	if out[0] != s.Lo[0] || out[1] != s.Hi[1] {
+		t.Fatalf("clamping failed: %v", out)
+	}
+}
+
+func TestGridSearchCoversAndFinds(t *testing.T) {
+	res, err := GridSearch(bowlSpace(), 5, bowl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 25 {
+		t.Fatalf("grid evals = %d, want 25", res.Evals)
+	}
+	if len(res.Trials) != 25 {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	// The best grid point must be the grid's closest to the optimum.
+	if math.Abs(res.Best[0]-0.25) > 1e-9 {
+		t.Fatalf("grid best x0 = %v, want 0.25 (closest grid line to 0.3)", res.Best[0])
+	}
+	if _, err := GridSearch(bowlSpace(), 1, bowl); err == nil {
+		t.Fatal("expected error for 1 point per dim")
+	}
+	bad := bowlSpace()
+	bad.Hi[0] = bad.Lo[0]
+	if _, err := GridSearch(bad, 3, bowl); err == nil {
+		t.Fatal("expected error for invalid space")
+	}
+}
+
+func TestRandomSearchBudgetAndDeterminism(t *testing.T) {
+	a, err := RandomSearch(bowlSpace(), 30, bowl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evals != 30 {
+		t.Fatalf("evals = %d, want 30", a.Evals)
+	}
+	b, _ := RandomSearch(bowlSpace(), 30, bowl, 7)
+	if a.BestValue != b.BestValue {
+		t.Fatal("random search not deterministic for fixed seed")
+	}
+	c, _ := RandomSearch(bowlSpace(), 30, bowl, 8)
+	if a.BestValue == c.BestValue && a.Best[0] == c.Best[0] {
+		t.Fatal("different seeds explored identically")
+	}
+	if _, err := RandomSearch(bowlSpace(), 0, bowl, 1); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+}
+
+func TestTPEBeatsRandomOnAverage(t *testing.T) {
+	const budget = 25
+	var tpeWins int
+	const rounds = 10
+	for seed := uint64(0); seed < rounds; seed++ {
+		tr, err := TPE(bowlSpace(), budget, bowl, DefaultTPE(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RandomSearch(bowlSpace(), budget, bowl, seed+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.BestValue >= rr.BestValue {
+			tpeWins++
+		}
+	}
+	if tpeWins < rounds/2 {
+		t.Fatalf("TPE won only %d/%d rounds against random search", tpeWins, rounds)
+	}
+}
+
+func TestTPEConvergesNearOptimum(t *testing.T) {
+	res, err := TPE(bowlSpace(), 40, bowl, DefaultTPE(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 40 {
+		t.Fatalf("evals = %d, want 40", res.Evals)
+	}
+	if res.BestValue < -0.01 {
+		t.Fatalf("TPE best value %v, want ≥ -0.01 (near the optimum)", res.BestValue)
+	}
+	if math.Abs(res.Best[0]-0.3) > 0.15 {
+		t.Fatalf("TPE best x0 = %v, want near 0.3", res.Best[0])
+	}
+}
+
+func TestTPEValidation(t *testing.T) {
+	if _, err := TPE(bowlSpace(), 0, bowl, DefaultTPE(), 1); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+	bad := DefaultTPE()
+	bad.GoodFraction = 1
+	if _, err := TPE(bowlSpace(), 10, bowl, bad, 1); err == nil {
+		t.Fatal("expected error for γ=1")
+	}
+	bad = DefaultTPE()
+	bad.Startup = 0
+	if _, err := TPE(bowlSpace(), 10, bowl, bad, 1); err == nil {
+		t.Fatal("expected error for zero startup")
+	}
+}
+
+func TestParzenLogDensity(t *testing.T) {
+	// Density is higher at a point mass than away from it.
+	pts := [][]float64{{0.5, 0.5}}
+	at := parzenLogDensity([]float64{0.5, 0.5}, pts, 0.1)
+	away := parzenLogDensity([]float64{0.9, 0.9}, pts, 0.1)
+	if at <= away {
+		t.Fatalf("density at mass %v not above away %v", at, away)
+	}
+	// Empty set: flat.
+	if got := parzenLogDensity([]float64{0.5}, nil, 0.1); got != 0 {
+		t.Fatalf("empty-set log density = %v, want 0", got)
+	}
+}

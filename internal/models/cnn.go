@@ -1,0 +1,105 @@
+package models
+
+import (
+	"fmt"
+
+	"gmreg/internal/nn"
+	"gmreg/internal/tensor"
+)
+
+// AlexCIFAR10 builds the paper's first deep model (Table III): three 5×5
+// convolution stages with pooling, ReLU and LRN, followed by a 10-way dense
+// softmax layer, for inC-channel size×size inputs. With the paper's 3×32×32
+// CIFAR geometry the regularized weight count is exactly 89 440, matching
+// §V-A ("the number of dimensions for model parameter is 89440").
+//
+// Weights use the paper's Gaussian initializer with std 0.1 (parameter
+// precision 100).
+func AlexCIFAR10(inC, size int, rng *tensor.RNG) *nn.Network {
+	const initStd = 0.1
+	if size%8 != 0 {
+		panic(fmt.Sprintf("models: AlexCIFAR10 needs a size divisible by 8, got %d", size))
+	}
+	final := size / 8 // three stride-2 pools
+	return nn.NewNetwork(
+		// Stage 1: conv 5×5×inC→32, max pooling, ReLU, LRN.
+		nn.NewConv2D("conv1", inC, 32, 5, 1, 2, initStd, rng),
+		nn.NewMaxPool2D("pool1", 3, 2, 1),
+		nn.NewReLU("relu1"),
+		nn.NewLRN("lrn1"),
+		// Stage 2: conv 5×5×32→32, ReLU, average pooling, LRN.
+		nn.NewConv2D("conv2", 32, 32, 5, 1, 2, initStd, rng),
+		nn.NewReLU("relu2"),
+		nn.NewAvgPool2D("pool2", 3, 2, 1),
+		nn.NewLRN("lrn2"),
+		// Stage 3: conv 5×5×32→64, ReLU, average pooling.
+		nn.NewConv2D("conv3", 32, 64, 5, 1, 2, initStd, rng),
+		nn.NewReLU("relu3"),
+		nn.NewAvgPool2D("pool3", 3, 2, 1),
+		// 10-way fully connected softmax layer.
+		nn.NewFlatten("flatten"),
+		nn.NewDense("dense", 64*final*final, 10, initStd, rng),
+	)
+}
+
+// ResNet20 builds the paper's second deep model (Table III): a twenty-layer
+// residual network — one 3×3 stem convolution, three stages of three basic
+// blocks with 16, 32 and 64 filters (the first block of stages two and three
+// downsamples with a stride-2 convolution and a 1×1 projection shortcut),
+// global average pooling and a 10-way dense softmax layer.
+//
+// Convolutions use He initialization (std = sqrt(2/fanIn)), which gives the
+// per-stack initialization structure the paper discusses in §V-B2: layers
+// within a stack share the same initialized variance, so they learn similar
+// GM parameters. With 3×32×32 inputs the regularized weight count is exactly
+// 270 896, matching §V-A.
+func ResNet20(inC, size int, rng *tensor.RNG) *nn.Network {
+	layers := []nn.Layer{
+		nn.NewConv2D("conv1", inC, 16, 3, 1, 1, nn.HeStd(inC*9), rng),
+		nn.NewBatchNorm("conv1-bn", 16),
+		nn.NewReLU("conv1-relu"),
+	}
+	stageNames := []string{"2", "3", "4"}
+	widths := []int{16, 32, 64}
+	prev := 16
+	for s, width := range widths {
+		for b := 0; b < 3; b++ {
+			blk := fmt.Sprintf("%s%c", stageNames[s], 'a'+b)
+			stride := 1
+			var shortcut []nn.Layer
+			if b == 0 && width != prev {
+				stride = 2
+				shortcut = []nn.Layer{
+					nn.NewConv2D(blk+"-br2-conv", prev, width, 1, 2, 0, nn.HeStd(prev), rng),
+					nn.NewBatchNorm(blk+"-br2-bn", width),
+				}
+			}
+			body := []nn.Layer{
+				nn.NewConv2D(blk+"-br1-conv1", prev, width, 3, stride, 1, nn.HeStd(prev*9), rng),
+				nn.NewBatchNorm(blk+"-br1-bn1", width),
+				nn.NewReLU(blk + "-br1-relu"),
+				nn.NewConv2D(blk+"-br1-conv2", width, width, 3, 1, 1, nn.HeStd(width*9), rng),
+				nn.NewBatchNorm(blk+"-br1-bn2", width),
+			}
+			layers = append(layers, nn.NewResidual(blk, body, shortcut))
+			prev = width
+		}
+	}
+	layers = append(layers,
+		nn.NewGlobalAvgPool2D("avgpool"),
+		nn.NewFlatten("flatten"),
+		nn.NewDense("ip5", 64, 10, 0.1, rng),
+	)
+	return nn.NewNetwork(layers...)
+}
+
+// MLP builds a small multi-layer perceptron for tabular multi-class tasks —
+// used by the examples to show the tool on a third model family.
+func MLP(in, hidden, classes int, rng *tensor.RNG) *nn.Network {
+	const initStd = 0.1
+	return nn.NewNetwork(
+		nn.NewDense("fc1", in, hidden, initStd, rng),
+		nn.NewReLU("relu1"),
+		nn.NewDense("fc2", hidden, classes, initStd, rng),
+	)
+}

@@ -1,0 +1,104 @@
+// Package models builds the three model families of the paper's evaluation:
+// logistic regression for the 12 small datasets (§V-C) and the two
+// convolutional networks of Table III — Alex-CIFAR-10 and the twenty-layer
+// ResNet — on top of the internal/nn engine.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"gmreg/internal/tensor"
+)
+
+// LogisticRegression is a binary classifier: p(y=1|x) = σ(w·x + b). Its
+// weight vector is the parameter group the regularizers act on; following
+// the paper the bias is unregularized.
+type LogisticRegression struct {
+	// W is the weight vector (one entry per encoded feature).
+	W []float64
+	// B is the intercept.
+	B float64
+	// InitStd records the weight initialization scale for the GM anchor.
+	InitStd float64
+}
+
+// NewLogisticRegression builds a model for m features with Gaussian
+// weight initialization (std = initStd, the paper's 0.1 default).
+func NewLogisticRegression(m int, initStd float64, rng *tensor.RNG) *LogisticRegression {
+	l := &LogisticRegression{W: make([]float64, m), InitStd: initStd}
+	rng.FillNormal(l.W, 0, initStd)
+	return l
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Logit returns w·x + b.
+func (l *LogisticRegression) Logit(x []float64) float64 {
+	return tensor.Dot(l.W, x) + l.B
+}
+
+// PredictProb returns p(y=1|x).
+func (l *LogisticRegression) PredictProb(x []float64) float64 {
+	return Sigmoid(l.Logit(x))
+}
+
+// Predict returns the hard 0/1 label.
+func (l *LogisticRegression) Predict(x []float64) int {
+	if l.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// LossGrad computes the mean negative log likelihood over the minibatch
+// rows[i] of X (labels y ∈ {0,1}) and accumulates the data-misfit gradient
+// gll into gw (len = len(W)) and gb. gw and gb are overwritten.
+func (l *LogisticRegression) LossGrad(x [][]float64, y []int, rows []int, gw []float64) (loss, gb float64) {
+	if len(gw) != len(l.W) {
+		panic(fmt.Sprintf("models: gradient buffer has %d dims, want %d", len(gw), len(l.W)))
+	}
+	for i := range gw {
+		gw[i] = 0
+	}
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	inv := 1 / float64(len(rows))
+	for _, r := range rows {
+		xi := x[r]
+		p := l.PredictProb(xi)
+		t := float64(y[r])
+		// NLL with clamping against log(0).
+		if y[r] == 1 {
+			loss -= math.Log(p + 1e-300)
+		} else {
+			loss -= math.Log(1 - p + 1e-300)
+		}
+		d := (p - t) * inv
+		tensor.Axpy(d, xi, gw)
+		gb += d
+	}
+	return loss * inv, gb
+}
+
+// Accuracy returns the fraction of rows classified correctly.
+func (l *LogisticRegression) Accuracy(x [][]float64, y []int, rows []int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var correct int
+	for _, r := range rows {
+		if l.Predict(x[r]) == y[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(rows))
+}

@@ -1,0 +1,236 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/nn"
+	"gmreg/internal/tensor"
+)
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); got != 0.5 {
+		t.Fatalf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(100); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Sigmoid(100) = %v", got)
+	}
+	if got := Sigmoid(-100); got > 1e-12 {
+		t.Fatalf("Sigmoid(-100) = %v", got)
+	}
+	// Numerically stable in both tails.
+	if v := Sigmoid(-750); math.IsNaN(v) || v != 0 && v > 1e-300 {
+		t.Fatalf("Sigmoid(-750) = %v", v)
+	}
+}
+
+func TestLogisticRegressionGradCheck(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	const m, n = 6, 12
+	lr := NewLogisticRegression(m, 0.5, rng)
+	x := make([][]float64, n)
+	y := make([]int, n)
+	rows := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, m)
+		rng.FillNormal(x[i], 0, 1)
+		y[i] = rng.Intn(2)
+		rows[i] = i
+	}
+	gw := make([]float64, m)
+	_, gb := lr.LossGrad(x, y, rows, gw)
+	lossAt := func() float64 {
+		tmp := make([]float64, m)
+		l, _ := lr.LossGrad(x, y, rows, tmp)
+		return l
+	}
+	const h = 1e-6
+	for i := 0; i < m; i++ {
+		orig := lr.W[i]
+		lr.W[i] = orig + h
+		lp := lossAt()
+		lr.W[i] = orig - h
+		lm := lossAt()
+		lr.W[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gw[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("weight grad dim %d: analytic %v vs numeric %v", i, gw[i], num)
+		}
+	}
+	origB := lr.B
+	lr.B = origB + h
+	lp := lossAt()
+	lr.B = origB - h
+	lm := lossAt()
+	lr.B = origB
+	num := (lp - lm) / (2 * h)
+	if math.Abs(num-gb) > 1e-5*(1+math.Abs(num)) {
+		t.Fatalf("bias grad: analytic %v vs numeric %v", gb, num)
+	}
+}
+
+func TestLogisticRegressionLearnsSeparableData(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	const m, n = 4, 200
+	x := make([][]float64, n)
+	y := make([]int, n)
+	rows := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, m)
+		rng.FillNormal(x[i], 0, 1)
+		if x[i][0]+x[i][1] > 0 {
+			y[i] = 1
+		}
+		rows[i] = i
+	}
+	lr := NewLogisticRegression(m, 0.01, rng)
+	gw := make([]float64, m)
+	for epoch := 0; epoch < 300; epoch++ {
+		_, gb := lr.LossGrad(x, y, rows, gw)
+		tensor.Axpy(-1.0, gw, lr.W)
+		lr.B -= 1.0 * gb
+	}
+	if acc := lr.Accuracy(x, y, rows); acc < 0.97 {
+		t.Fatalf("accuracy on separable data = %v, want ≥ 0.97", acc)
+	}
+}
+
+func TestLogisticRegressionEmptyBatch(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	lr := NewLogisticRegression(3, 0.1, rng)
+	gw := make([]float64, 3)
+	loss, gb := lr.LossGrad(nil, nil, nil, gw)
+	if loss != 0 || gb != 0 {
+		t.Fatal("empty batch must yield zero loss and gradient")
+	}
+	if lr.Accuracy(nil, nil, nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+func TestLogisticRegressionPanicsOnBadBuffer(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	lr := NewLogisticRegression(3, 0.1, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lr.LossGrad(nil, nil, nil, make([]float64, 2))
+}
+
+// The paper reports the model parameter dimensionality of Alex-CIFAR-10 as
+// 89 440 (§V-A); the builder must reproduce it exactly.
+func TestAlexCIFAR10ParamCount(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	net := AlexCIFAR10(3, 32, rng)
+	if got := net.NumParams(true); got != 89440 {
+		t.Fatalf("Alex-CIFAR-10 weight count = %d, want 89440", got)
+	}
+}
+
+// The paper reports the ResNet parameter dimensionality as 270 896 (§V-A).
+func TestResNet20ParamCount(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	net := ResNet20(3, 32, rng)
+	if got := net.NumParams(true); got != 270896 {
+		t.Fatalf("ResNet-20 weight count = %d, want 270896", got)
+	}
+}
+
+func TestResNet20HasTwentyWeightedLayers(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := ResNet20(3, 32, rng)
+	// Count weighted layers the way the paper does: stem + 18 block convs +
+	// final dense = 20 (projection shortcuts are not counted).
+	var weighted int
+	for _, p := range net.Params() {
+		if p.Regularize && !contains(p.Name, "br2") {
+			weighted++
+		}
+	}
+	if weighted != 20 {
+		t.Fatalf("weighted layers = %d, want 20", weighted)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAlexCIFAR10ForwardBackwardSmall(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := AlexCIFAR10(3, 16, rng) // reduced spatial size for test speed
+	x := tensor.New(2, 3, 16, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	logits := net.Forward(x, true)
+	if logits.Shape[0] != 2 || logits.Shape[1] != 10 {
+		t.Fatalf("logits shape %v, want [2 10]", logits.Shape)
+	}
+	loss, grad := nn.SoftmaxCrossEntropy(logits, []int{3, 7})
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("loss = %v", loss)
+	}
+	net.ZeroGrads()
+	net.Backward(grad)
+	var norm float64
+	for _, p := range net.Params() {
+		norm += tensor.Norm2(p.Grad)
+	}
+	if norm == 0 || math.IsNaN(norm) {
+		t.Fatalf("gradient norm = %v", norm)
+	}
+}
+
+func TestResNet20ForwardBackwardSmall(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	net := ResNet20(3, 16, rng)
+	x := tensor.New(2, 3, 16, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	logits := net.Forward(x, true)
+	if logits.Shape[0] != 2 || logits.Shape[1] != 10 {
+		t.Fatalf("logits shape %v, want [2 10]", logits.Shape)
+	}
+	loss, grad := nn.SoftmaxCrossEntropy(logits, []int{0, 9})
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("loss = %v", loss)
+	}
+	net.ZeroGrads()
+	net.Backward(grad)
+	var norm float64
+	for _, p := range net.Params() {
+		norm += tensor.Norm2(p.Grad)
+	}
+	if norm == 0 || math.IsNaN(norm) {
+		t.Fatalf("gradient norm = %v", norm)
+	}
+}
+
+func TestAlexCIFAR10RejectsBadSize(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size not divisible by 8")
+		}
+	}()
+	AlexCIFAR10(3, 30, rng)
+}
+
+func TestMLPShapes(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	net := MLP(12, 32, 3, rng)
+	x := tensor.New(5, 12)
+	rng.FillNormal(x.Data, 0, 1)
+	y := net.Forward(x, true)
+	if y.Shape[0] != 5 || y.Shape[1] != 3 {
+		t.Fatalf("MLP output shape %v", y.Shape)
+	}
+	if got := net.NumParams(true); got != 12*32+32*3 {
+		t.Fatalf("MLP weight count = %d", got)
+	}
+}

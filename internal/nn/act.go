@@ -1,0 +1,47 @@
+package nn
+
+import "gmreg/internal/tensor"
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	name string
+	mask []bool // true where x > 0
+}
+
+// NewReLU builds a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+func BenchmarkConvForward(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	c := NewConv2D("conv", 32, 32, 5, 1, 2, 0.1, rng)
+	x := tensor.New(8, 32, 16, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x, true)
+	}
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	c := NewConv2D("conv", 32, 32, 5, 1, 2, 0.1, rng)
+	x := tensor.New(8, 32, 16, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	y := c.Forward(x, true)
+	dy := tensor.New(y.Shape...)
+	rng.FillNormal(dy.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Backward(dy)
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	bn := NewBatchNorm("bn", 64)
+	x := tensor.New(16, 64, 8, 8)
+	rng.FillNormal(x.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Forward(x, true)
+	}
+}
+
+func BenchmarkLRNForward(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	l := NewLRN("lrn")
+	x := tensor.New(8, 32, 16, 16)
+	rng.FillNormal(x.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+	}
+}
+
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	rng := tensor.NewRNG(5)
+	d := NewDense("fc", 1024, 10, 0.1, rng)
+	x := tensor.New(32, 1024)
+	rng.FillNormal(x.Data, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := d.Forward(x, true)
+		d.Backward(y)
+	}
+}
+
+func BenchmarkSoftmaxCrossEntropy(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	logits := tensor.New(128, 10)
+	rng.FillNormal(logits.Data, 0, 1)
+	labels := make([]int, 128)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxCrossEntropy(logits, labels)
+	}
+}

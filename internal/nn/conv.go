@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+
+	"gmreg/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW batches, implemented by lowering
+// each sample with im2col and multiplying against the filter bank. Weights
+// have logical shape outC × inC × kh × kw, stored flat.
+type Conv2D struct {
+	name                 string
+	inC, outC            int
+	kh, kw, stride, pad  int
+	weight               *Param
+	bias                 *Param
+	x                    *tensor.Tensor // cached input for Backward
+	inH, inW, outH, outW int
+}
+
+// NewConv2D builds a convolution layer with Gaussian-initialized filters.
+func NewConv2D(name string, inC, outC, k, stride, pad int, initStd float64, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{
+		name:   name,
+		inC:    inC,
+		outC:   outC,
+		kh:     k,
+		kw:     k,
+		stride: stride,
+		pad:    pad,
+		weight: newParam(name+"/weight", outC*inC*k*k, initStd, true),
+		bias:   newParam(name+"/bias", outC, 0, false),
+	}
+	rng.FillNormal(c.weight.W, 0, initStd)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(c, x, 4)
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if ch != c.inC {
+		panic("nn: " + c.name + ": channel mismatch")
+	}
+	c.x = x
+	c.inH, c.inW = h, w
+	c.outH = tensor.ConvOutSize(h, c.kh, c.stride, c.pad)
+	c.outW = tensor.ConvOutSize(w, c.kw, c.stride, c.pad)
+	y := tensor.New(n, c.outC, c.outH, c.outW)
+	wm := tensor.FromSlice(c.weight.W, c.outC, c.inC*c.kh*c.kw)
+	spatial := c.outH * c.outW
+	imgLen := ch * h * w
+	parallelSamples(n, func(s int) {
+		img := x.Data[s*imgLen : (s+1)*imgLen]
+		cols := tensor.Im2Col(img, ch, h, w, c.kh, c.kw, c.stride, c.pad)
+		out := tensor.MatMulTransB(cols, wm) // spatial × outC
+		dst := y.Data[s*c.outC*spatial : (s+1)*c.outC*spatial]
+		for p := 0; p < spatial; p++ {
+			row := out.Data[p*c.outC : (p+1)*c.outC]
+			for oc, v := range row {
+				dst[oc*spatial+p] = v + c.bias.W[oc]
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n := dy.Shape[0]
+	spatial := c.outH * c.outW
+	imgLen := c.inC * c.inH * c.inW
+	dx := tensor.New(n, c.inC, c.inH, c.inW)
+	wm := tensor.FromSlice(c.weight.W, c.outC, c.inC*c.kh*c.kw)
+
+	type partial struct {
+		dw []float64
+		db []float64
+	}
+	var mu sync.Mutex
+	parallelSamplesWorker(n, func() interface{} {
+		return &partial{
+			dw: make([]float64, len(c.weight.W)),
+			db: make([]float64, c.outC),
+		}
+	}, func(state interface{}, s int) {
+		p := state.(*partial)
+		// Re-lower the cached input (cheaper than caching every cols matrix).
+		img := c.x.Data[s*imgLen : (s+1)*imgLen]
+		cols := tensor.Im2Col(img, c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
+		// Gather dy for this sample as spatial × outC.
+		dyMat := tensor.New(spatial, c.outC)
+		src := dy.Data[s*c.outC*spatial : (s+1)*c.outC*spatial]
+		for oc := 0; oc < c.outC; oc++ {
+			for sp := 0; sp < spatial; sp++ {
+				v := src[oc*spatial+sp]
+				dyMat.Data[sp*c.outC+oc] = v
+				p.db[oc] += v
+			}
+		}
+		// dW += dyMatᵀ · cols  (outC × inC·kh·kw)
+		dw := tensor.MatMulTransA(dyMat, cols)
+		tensor.Axpy(1, dw.Data, p.dw)
+		// dCols = dyMat · W  (spatial × inC·kh·kw), scattered back to dx.
+		dcols := tensor.MatMul(dyMat, wm)
+		tensor.Col2Im(dcols, dx.Data[s*imgLen:(s+1)*imgLen],
+			c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
+	}, func(state interface{}) {
+		p := state.(*partial)
+		mu.Lock()
+		tensor.Axpy(1, p.dw, c.weight.Grad)
+		tensor.Axpy(1, p.db, c.bias.Grad)
+		mu.Unlock()
+	})
+	return dx
+}
+
+// parallelSamples runs f(sample) for every sample index concurrently.
+func parallelSamples(n int, f func(s int)) {
+	parallelSamplesWorker(n,
+		func() interface{} { return nil },
+		func(_ interface{}, s int) { f(s) },
+		func(interface{}) {})
+}
+
+// parallelSamplesWorker partitions [0,n) across workers, giving each worker
+// private state created by mkState and flushed once by flush — used to
+// accumulate per-worker gradient partials without a hot mutex.
+func parallelSamplesWorker(n int, mkState func() interface{}, f func(state interface{}, s int), flush func(state interface{})) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		st := mkState()
+		for s := 0; s < n; s++ {
+			f(st, s)
+		}
+		flush(st)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			st := mkState()
+			for s := lo; s < hi; s++ {
+				f(st, s)
+			}
+			flush(st)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"gmreg/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b over a batch of row
+// vectors (N × in → N × out).
+type Dense struct {
+	name    string
+	in, out int
+	weight  *Param
+	bias    *Param
+
+	x *tensor.Tensor // cached input for Backward
+}
+
+// NewDense builds a fully connected layer with Gaussian-initialized weights
+// (std = initStd; the paper's models use 0.1 ⇒ parameter precision 100) and
+// zero biases.
+func NewDense(name string, in, out int, initStd float64, rng *tensor.RNG) *Dense {
+	d := &Dense{
+		name:   name,
+		in:     in,
+		out:    out,
+		weight: newParam(name+"/weight", out*in, initStd, true),
+		bias:   newParam(name+"/bias", out, 0, false),
+	}
+	rng.FillNormal(d.weight.W, 0, initStd)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(d, x, 2)
+	d.x = x
+	wm := tensor.FromSlice(d.weight.W, d.out, d.in)
+	y := tensor.MatMulTransB(x, wm) // N × out
+	n := x.Shape[0]
+	for i := 0; i < n; i++ {
+		row := y.Data[i*d.out : (i+1)*d.out]
+		for j := range row {
+			row[j] += d.bias.W[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n := dy.Shape[0]
+	// dW = dyᵀ·x  (out × in)
+	dw := tensor.MatMulTransA(dy, d.x)
+	tensor.Axpy(1, dw.Data, d.weight.Grad)
+	// db = column sums of dy.
+	for i := 0; i < n; i++ {
+		row := dy.Data[i*d.out : (i+1)*d.out]
+		for j, v := range row {
+			d.bias.Grad[j] += v
+		}
+	}
+	// dx = dy·W (N × in)
+	wm := tensor.FromSlice(d.weight.W, d.out, d.in)
+	return tensor.MatMul(dy, wm)
+}
+
+// Flatten reshapes NCHW activations into N × (C·H·W) row vectors for the
+// transition from convolutional to dense layers.
+type Flatten struct {
+	name  string
+	shape []int // cached input shape for Backward
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.shape = append(f.shape[:0], x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.shape...)
+}
+
+// HeStd returns the He-initialization standard deviation sqrt(2/fanIn) used
+// for the ResNet convolutions (He et al. 2015, cited by the paper for its
+// initialization discussion).
+func HeStd(fanIn int) float64 { return math.Sqrt(2 / float64(fanIn)) }

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"fmt"
+
+	"gmreg/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability Rate
+// and rescales the survivors by 1/(1−Rate) (inverted dropout), so inference
+// is the identity. Dropout is the structural-regularization alternative the
+// deep-learning literature pairs with weight penalties; it is provided so
+// users can combine or compare it with the GM tool.
+type Dropout struct {
+	name string
+	// Rate is the drop probability in [0, 1).
+	Rate float64
+	rng  *tensor.RNG
+	mask []float64
+}
+
+// NewDropout builds a dropout layer with its own deterministic RNG stream.
+func NewDropout(name string, rate float64, rng *tensor.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v out of [0,1)", rate))
+	}
+	return &Dropout{name: name, Rate: rate, rng: rng.Split()}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float64, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	y := tensor.New(x.Shape...)
+	keep := 1 / (1 - d.Rate)
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = keep
+			y.Data[i] = v * keep
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil { // inference pass or rate 0
+		return dy
+	}
+	dx := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"gmreg/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean negative log likelihood of the
+// labels under a softmax over logits (N × C), together with the gradient
+// with respect to the logits. This is the data-misfit term of Eq. 1 and its
+// gll gradient.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects N×C logits, got %v", logits.Shape))
+	}
+	n, c := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d samples", len(labels), n))
+	}
+	grad = tensor.New(n, c)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*c : (i+1)*c]
+		y := labels[i]
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var z float64
+		g := grad.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			z += e
+		}
+		loss -= math.Log(g[y]/z + 1e-300)
+		for j := range g {
+			g[j] = g[j] / z * inv
+		}
+		g[y] -= inv
+	}
+	return loss * inv, grad
+}
+
+// Predict returns the argmax class per row of N×C logits.
+func Predict(logits *tensor.Tensor) []int {
+	n, c := logits.Shape[0], logits.Shape[1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = tensor.ArgMax(logits.Data[i*c : (i+1)*c])
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+
+	"gmreg/internal/tensor"
+)
+
+// LRN is AlexNet-style local response normalization across channels
+// (Krizhevsky et al. 2012, used between the convolution stages of the
+// paper's Alex-CIFAR-10 model):
+//
+//	y[c] = x[c] / (K + (Alpha/Size)·Σ_{c' in window(c)} x[c']²)^Beta
+//
+// where the window covers Size channels centred on c.
+type LRN struct {
+	name  string
+	Size  int
+	Alpha float64
+	Beta  float64
+	K     float64
+
+	x     *tensor.Tensor
+	scale []float64 // cached s[c] = K + (Alpha/Size)·Σ x²
+}
+
+// NewLRN builds an LRN layer with AlexNet's standard constants
+// (size 5, α 1e-4, β 0.75, k 1).
+func NewLRN(name string) *LRN {
+	return &LRN{name: name, Size: 5, Alpha: 1e-4, Beta: 0.75, K: 1}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LRN) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(l, x, 4)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	l.x = x
+	if cap(l.scale) < x.Len() {
+		l.scale = make([]float64, x.Len())
+	}
+	l.scale = l.scale[:x.Len()]
+	y := tensor.New(x.Shape...)
+	half := l.Size / 2
+	plane := h * w
+	coef := l.Alpha / float64(l.Size)
+	for s := 0; s < n; s++ {
+		sampleBase := s * c * plane
+		for hw := 0; hw < plane; hw++ {
+			for ch := 0; ch < c; ch++ {
+				var sum float64
+				lo, hi := ch-half, ch+half
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= c {
+					hi = c - 1
+				}
+				for cc := lo; cc <= hi; cc++ {
+					v := x.Data[sampleBase+cc*plane+hw]
+					sum += v * v
+				}
+				idx := sampleBase + ch*plane + hw
+				sc := l.K + coef*sum
+				l.scale[idx] = sc
+				y.Data[idx] = x.Data[idx] * math.Pow(sc, -l.Beta)
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer. With s[c] the cached scale,
+//
+//	dx[c'] = dy[c']·s[c']^{-β} − (2αβ/Size)·x[c']·Σ_{c: c'∈window(c)} dy[c]·x[c]·s[c]^{-β-1}.
+func (l *LRN) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := l.x.Shape[0], l.x.Shape[1], l.x.Shape[2], l.x.Shape[3]
+	dx := tensor.New(l.x.Shape...)
+	half := l.Size / 2
+	plane := h * w
+	coef := 2 * l.Alpha * l.Beta / float64(l.Size)
+	for s := 0; s < n; s++ {
+		sampleBase := s * c * plane
+		for hw := 0; hw < plane; hw++ {
+			// Precompute t[c] = dy[c]·x[c]·s[c]^{-β-1} for this column.
+			t := make([]float64, c)
+			for ch := 0; ch < c; ch++ {
+				idx := sampleBase + ch*plane + hw
+				t[ch] = dy.Data[idx] * l.x.Data[idx] * math.Pow(l.scale[idx], -l.Beta-1)
+			}
+			for ch := 0; ch < c; ch++ {
+				idx := sampleBase + ch*plane + hw
+				g := dy.Data[idx] * math.Pow(l.scale[idx], -l.Beta)
+				var cross float64
+				lo, hi := ch-half, ch+half
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= c {
+					hi = c - 1
+				}
+				for cc := lo; cc <= hi; cc++ {
+					cross += t[cc]
+				}
+				dx.Data[idx] = g - coef*l.x.Data[idx]*cross
+			}
+		}
+	}
+	return dx
+}

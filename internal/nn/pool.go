@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+
+	"gmreg/internal/tensor"
+)
+
+// MaxPool2D is max pooling over NCHW batches. Backward routes the gradient
+// to the argmax position of each window.
+type MaxPool2D struct {
+	name           string
+	k, stride, pad int
+	argmax         []int // flat output index → flat input index
+	inShape        []int
+	outH, outW     int
+}
+
+// NewMaxPool2D builds a max pooling layer with a k×k window.
+func NewMaxPool2D(name string, k, stride, pad int) *MaxPool2D {
+	return &MaxPool2D{name: name, k: k, stride: stride, pad: pad}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(p, x, 4)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	p.outH = tensor.ConvOutSize(h, p.k, p.stride, p.pad)
+	p.outW = tensor.ConvOutSize(w, p.k, p.stride, p.pad)
+	y := tensor.New(n, c, p.outH, p.outW)
+	if cap(p.argmax) < y.Len() {
+		p.argmax = make([]int, y.Len())
+	}
+	p.argmax = p.argmax[:y.Len()]
+	oi := 0
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			for oy := 0; oy < p.outH; oy++ {
+				for ox := 0; ox < p.outW; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < p.k; ky++ {
+						iy := oy*p.stride - p.pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.k; kx++ {
+							ix := ox*p.stride - p.pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							idx := base + iy*w + ix
+							if v := x.Data[idx]; v > best {
+								best = v
+								bestIdx = idx
+							}
+						}
+					}
+					if bestIdx < 0 { // window entirely in padding
+						best = 0
+					}
+					y.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	for oi, v := range dy.Data {
+		if idx := p.argmax[oi]; idx >= 0 {
+			dx.Data[idx] += v
+		}
+	}
+	return dx
+}
+
+// AvgPool2D is average pooling over NCHW batches. A kernel size of 0 means
+// global average pooling over the full spatial extent (used by ResNet's
+// final pooling stage).
+type AvgPool2D struct {
+	name           string
+	k, stride, pad int
+	global         bool
+	inShape        []int
+	kh, kw         int // effective window for the last Forward
+	outH, outW     int
+}
+
+// NewAvgPool2D builds an average pooling layer with a k×k window.
+func NewAvgPool2D(name string, k, stride, pad int) *AvgPool2D {
+	return &AvgPool2D{name: name, k: k, stride: stride, pad: pad}
+}
+
+// NewGlobalAvgPool2D builds a pooling layer that averages each channel's
+// full spatial plane, producing N×C×1×1.
+func NewGlobalAvgPool2D(name string) *AvgPool2D {
+	return &AvgPool2D{name: name, global: true, stride: 1}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	checkRank(p, x, 4)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	p.kh, p.kw = p.k, p.k
+	stride, pad := p.stride, p.pad
+	if p.global {
+		p.kh, p.kw = h, w
+		stride, pad = 1, 0
+	}
+	p.outH = tensor.ConvOutSize(h, p.kh, stride, pad)
+	p.outW = tensor.ConvOutSize(w, p.kw, stride, pad)
+	y := tensor.New(n, c, p.outH, p.outW)
+	area := float64(p.kh * p.kw)
+	oi := 0
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			for oy := 0; oy < p.outH; oy++ {
+				for ox := 0; ox < p.outW; ox++ {
+					var sum float64
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += x.Data[base+iy*w+ix]
+						}
+					}
+					y.Data[oi] = sum / area
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	stride, pad := p.stride, p.pad
+	if p.global {
+		stride, pad = 1, 0
+	}
+	area := float64(p.kh * p.kw)
+	oi := 0
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			for oy := 0; oy < p.outH; oy++ {
+				for ox := 0; ox < p.outW; ox++ {
+					g := dy.Data[oi] / area
+					oi++
+					for ky := 0; ky < p.kh; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.kw; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dx.Data[base+iy*w+ix] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

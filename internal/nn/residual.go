@@ -1,0 +1,90 @@
+package nn
+
+import "gmreg/internal/tensor"
+
+// Residual is a ResNet basic block: y = ReLU(body(x) + shortcut(x)). The
+// body is the stacked conv/BN/ReLU branch of Table III; the shortcut is
+// empty for identity skips or holds the projection convolution (the "br2"
+// layers of Table V) when the spatial size or channel count changes.
+type Residual struct {
+	name     string
+	Body     []Layer
+	Shortcut []Layer
+
+	mask []bool // ReLU mask of the summed output
+}
+
+// NewResidual builds a residual block. shortcut may be nil for an identity
+// skip connection.
+func NewResidual(name string, body, shortcut []Layer) *Residual {
+	return &Residual{name: name, Body: body, Shortcut: shortcut}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	var ps []*Param
+	for _, l := range r.Body {
+		ps = append(ps, l.Params()...)
+	}
+	for _, l := range r.Shortcut {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	main := x
+	for _, l := range r.Body {
+		main = l.Forward(main, train)
+	}
+	skip := x
+	for _, l := range r.Shortcut {
+		skip = l.Forward(skip, train)
+	}
+	if !main.SameShape(skip) {
+		panic("nn: " + r.name + ": body/shortcut shape mismatch " +
+			main.String() + " vs " + skip.String())
+	}
+	y := tensor.New(main.Shape...)
+	if cap(r.mask) < y.Len() {
+		r.mask = make([]bool, y.Len())
+	}
+	r.mask = r.mask[:y.Len()]
+	for i := range y.Data {
+		v := main.Data[i] + skip.Data[i]
+		if v > 0 {
+			y.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dsum := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dsum.Data[i] = v
+		}
+	}
+	dmain := dsum
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		dmain = r.Body[i].Backward(dmain)
+	}
+	dskip := dsum
+	for i := len(r.Shortcut) - 1; i >= 0; i-- {
+		dskip = r.Shortcut[i].Backward(dskip)
+	}
+	dx := tensor.New(dmain.Shape...)
+	for i := range dx.Data {
+		dx.Data[i] = dmain.Data[i] + dskip.Data[i]
+	}
+	return dx
+}

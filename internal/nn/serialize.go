@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// weightsFile is the on-wire format of SaveWeights: parameter-group name to
+// flat values.
+type weightsFile struct {
+	Groups map[string][]float64
+}
+
+// SaveWeights serializes every parameter group of the network (weights,
+// biases, batch-norm scales) to w using encoding/gob, keyed by group name.
+func SaveWeights(w io.Writer, net *Network) error {
+	f := weightsFile{Groups: map[string][]float64{}}
+	for _, p := range net.Params() {
+		f.Groups[p.Name] = p.W
+	}
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// LoadWeights restores parameters saved by SaveWeights into a network with
+// the same architecture. Every group in the network must be present with a
+// matching length; extra groups in the stream are an error, so silent
+// architecture drift is caught.
+func LoadWeights(r io.Reader, net *Network) error {
+	var f weightsFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return fmt.Errorf("nn: decoding weights: %w", err)
+	}
+	params := net.Params()
+	if len(f.Groups) != len(params) {
+		return fmt.Errorf("nn: weight file has %d groups, network has %d",
+			len(f.Groups), len(params))
+	}
+	for _, p := range params {
+		vals, ok := f.Groups[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: weight file missing group %q", p.Name)
+		}
+		if len(vals) != len(p.W) {
+			return fmt.Errorf("nn: group %q has %d values, want %d",
+				p.Name, len(vals), len(p.W))
+		}
+		copy(p.W, vals)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+// Package reg provides the fixed-prior baseline regularizers the paper
+// compares against (§V): L1-norm (Lasso / Laplacian prior), L2-norm (weight
+// decay / Gaussian prior), Elastic-net (L1+L2 compromise) and Huber-norm
+// (piecewise Gaussian/Laplacian prior), plus a no-op regularizer.
+//
+// All of them, and the adaptive GM regularizer in internal/core, satisfy the
+// Regularizer interface, so training code treats fixed and adaptive
+// regularization uniformly: once per SGD iteration it calls Grad with the
+// current flat parameter vector and adds the result to the data-misfit
+// gradient.
+package reg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regularizer computes the gradient and value of a penalty term f(β, w)
+// (Eq. 1 of the paper) over a flat parameter vector.
+//
+// Implementations may be stateful (the adaptive GM regularizer advances its
+// lazy-update schedule on every Grad call), so a Regularizer instance must
+// be dedicated to a single parameter group and is not safe for concurrent
+// use.
+type Regularizer interface {
+	// Name identifies the method in reports, e.g. "L2 Reg".
+	Name() string
+	// Grad writes ∂f/∂w into dst (overwriting it). len(dst) == len(w).
+	Grad(w, dst []float64)
+	// Penalty returns f(β, w).
+	Penalty(w []float64) float64
+}
+
+// Factory builds a fresh Regularizer for a parameter group with m dimensions
+// whose entries were initialized with standard deviation initStd. Trainers
+// use a Factory so that each layer gets its own (possibly stateful)
+// regularizer instance, mirroring the paper's per-layer GMs.
+type Factory func(m int, initStd float64) Regularizer
+
+// None is the "no regularization" baseline.
+type None struct{}
+
+// Name implements Regularizer.
+func (None) Name() string { return "no regularization" }
+
+// Grad zeroes dst.
+func (None) Grad(w, dst []float64) {
+	checkDims(w, dst)
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// Penalty is always 0.
+func (None) Penalty(w []float64) float64 { return 0 }
+
+// L1 is L1-norm regularization: f = β·Σ|w_m|, the MAP view of a Laplacian
+// prior. At w_m = 0 the subgradient 0 is used.
+type L1 struct {
+	// Beta is the regularization strength β.
+	Beta float64
+}
+
+// Name implements Regularizer.
+func (r L1) Name() string { return "L1 Reg" }
+
+// Grad writes β·sign(w) into dst.
+func (r L1) Grad(w, dst []float64) {
+	checkDims(w, dst)
+	for i, v := range w {
+		switch {
+		case v > 0:
+			dst[i] = r.Beta
+		case v < 0:
+			dst[i] = -r.Beta
+		default:
+			dst[i] = 0
+		}
+	}
+}
+
+// Penalty returns β·‖w‖₁.
+func (r L1) Penalty(w []float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += math.Abs(v)
+	}
+	return r.Beta * s
+}
+
+// L2 is L2-norm regularization (weight decay): f = (β/2)·Σ w_m², the MAP
+// view of a zero-mean Gaussian prior with precision β. It is the K=1 special
+// case of the GM regularizer.
+type L2 struct {
+	// Beta is the Gaussian precision; the paper's Tables IV/V report it as λ.
+	Beta float64
+}
+
+// Name implements Regularizer.
+func (r L2) Name() string { return "L2 Reg" }
+
+// Grad writes β·w into dst.
+func (r L2) Grad(w, dst []float64) {
+	checkDims(w, dst)
+	for i, v := range w {
+		dst[i] = r.Beta * v
+	}
+}
+
+// Penalty returns (β/2)·‖w‖₂².
+func (r L2) Penalty(w []float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += v * v
+	}
+	return 0.5 * r.Beta * s
+}
+
+// ElasticNet mixes L1 and L2: f = β·(ratio·‖w‖₁ + (1−ratio)/2·‖w‖₂²),
+// following the scikit-learn style parameterization the paper tunes
+// (strength β and l1_ratio).
+type ElasticNet struct {
+	// Beta is the overall strength.
+	Beta float64
+	// L1Ratio in [0,1] is the proportion of the L1 part.
+	L1Ratio float64
+}
+
+// Name implements Regularizer.
+func (r ElasticNet) Name() string { return "Elastic-net Reg" }
+
+// Grad writes the mixed subgradient into dst.
+func (r ElasticNet) Grad(w, dst []float64) {
+	checkDims(w, dst)
+	l1 := r.Beta * r.L1Ratio
+	l2 := r.Beta * (1 - r.L1Ratio)
+	for i, v := range w {
+		g := l2 * v
+		switch {
+		case v > 0:
+			g += l1
+		case v < 0:
+			g -= l1
+		}
+		dst[i] = g
+	}
+}
+
+// Penalty returns the mixed penalty value.
+func (r ElasticNet) Penalty(w []float64) float64 {
+	var s1, s2 float64
+	for _, v := range w {
+		s1 += math.Abs(v)
+		s2 += v * v
+	}
+	return r.Beta * (r.L1Ratio*s1 + 0.5*(1-r.L1Ratio)*s2)
+}
+
+// Huber is Huber-norm regularization (Zadorozhnyi et al. 2016): quadratic
+// for |w_m| ≤ Mu (Gaussian prior on small parameters) and linear beyond
+// (Laplacian prior on large parameters), scaled by Beta. Unlike L1 it is
+// differentiable everywhere.
+type Huber struct {
+	// Beta is the overall strength.
+	Beta float64
+	// Mu > 0 is the quadratic/linear threshold.
+	Mu float64
+}
+
+// Name implements Regularizer.
+func (r Huber) Name() string { return "Huber Reg" }
+
+// Grad writes the Huber gradient into dst.
+func (r Huber) Grad(w, dst []float64) {
+	checkDims(w, dst)
+	for i, v := range w {
+		if math.Abs(v) <= r.Mu {
+			dst[i] = r.Beta * v / r.Mu
+		} else if v > 0 {
+			dst[i] = r.Beta
+		} else {
+			dst[i] = -r.Beta
+		}
+	}
+}
+
+// Penalty returns the Huber penalty: (β/2μ)·w² inside the threshold and
+// β·(|w| − μ/2) outside, which matches the gradient and is continuous.
+func (r Huber) Penalty(w []float64) float64 {
+	var s float64
+	for _, v := range w {
+		a := math.Abs(v)
+		if a <= r.Mu {
+			s += 0.5 * r.Beta * v * v / r.Mu
+		} else {
+			s += r.Beta * (a - 0.5*r.Mu)
+		}
+	}
+	return s
+}
+
+func checkDims(w, dst []float64) {
+	if len(w) != len(dst) {
+		panic(fmt.Sprintf("reg: w has %d dims but dst has %d", len(w), len(dst)))
+	}
+}
+
+// Fixed wraps a stateless Regularizer value into a Factory that ignores the
+// group geometry — the natural adapter for the fixed-prior baselines.
+func Fixed(r Regularizer) Factory {
+	return func(m int, initStd float64) Regularizer { return r }
+}

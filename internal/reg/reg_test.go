@@ -1,0 +1,220 @@
+package reg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gmreg/internal/tensor"
+)
+
+// numericGrad verifies an implementation's Grad against central differences
+// of its Penalty at points where the penalty is differentiable.
+func numericGradCheck(t *testing.T, r Regularizer, w []float64, tol float64) {
+	t.Helper()
+	dst := make([]float64, len(w))
+	r.Grad(w, dst)
+	const h = 1e-7
+	for i := range w {
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[i] += h
+		wm[i] -= h
+		num := (r.Penalty(wp) - r.Penalty(wm)) / (2 * h)
+		if math.Abs(num-dst[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("%s: dim %d analytic %v vs numeric %v", r.Name(), i, dst[i], num)
+		}
+	}
+}
+
+func TestNone(t *testing.T) {
+	var r None
+	w := []float64{1, -2, 3}
+	dst := []float64{9, 9, 9}
+	r.Grad(w, dst)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("None.Grad must zero dst")
+		}
+	}
+	if r.Penalty(w) != 0 {
+		t.Fatal("None.Penalty must be 0")
+	}
+}
+
+func TestL1GradSigns(t *testing.T) {
+	r := L1{Beta: 0.5}
+	w := []float64{2, -3, 0}
+	dst := make([]float64, 3)
+	r.Grad(w, dst)
+	want := []float64{0.5, -0.5, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("L1 grad = %v, want %v", dst, want)
+		}
+	}
+	if got := r.Penalty(w); got != 2.5 {
+		t.Fatalf("L1 penalty = %v, want 2.5", got)
+	}
+}
+
+func TestL2GradAndPenalty(t *testing.T) {
+	r := L2{Beta: 2}
+	w := []float64{1, -2}
+	dst := make([]float64, 2)
+	r.Grad(w, dst)
+	if dst[0] != 2 || dst[1] != -4 {
+		t.Fatalf("L2 grad = %v, want [2 -4]", dst)
+	}
+	if got := r.Penalty(w); got != 5 {
+		t.Fatalf("L2 penalty = %v, want 5", got)
+	}
+	numericGradCheck(t, r, []float64{0.3, -0.7, 1.2}, 1e-5)
+}
+
+func TestElasticNetLimits(t *testing.T) {
+	w := []float64{0.4, -1.1, 2.2}
+	// L1Ratio = 1 degenerates to pure L1.
+	en := ElasticNet{Beta: 0.7, L1Ratio: 1}
+	l1 := L1{Beta: 0.7}
+	a, b := make([]float64, 3), make([]float64, 3)
+	en.Grad(w, a)
+	l1.Grad(w, b)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("Elastic-net(ratio=1) != L1 at dim %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if math.Abs(en.Penalty(w)-l1.Penalty(w)) > 1e-12 {
+		t.Fatal("Elastic-net(ratio=1) penalty != L1 penalty")
+	}
+	// L1Ratio = 0 degenerates to pure L2.
+	en = ElasticNet{Beta: 0.7, L1Ratio: 0}
+	l2 := L2{Beta: 0.7}
+	en.Grad(w, a)
+	l2.Grad(w, b)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("Elastic-net(ratio=0) != L2 at dim %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	numericGradCheck(t, ElasticNet{Beta: 0.5, L1Ratio: 0.3}, []float64{0.4, -1.1, 2.2}, 1e-5)
+}
+
+func TestHuberPiecewise(t *testing.T) {
+	r := Huber{Beta: 1.5, Mu: 1}
+	w := []float64{0.5, -0.5, 2, -2}
+	dst := make([]float64, 4)
+	r.Grad(w, dst)
+	want := []float64{0.75, -0.75, 1.5, -1.5}
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("Huber grad = %v, want %v", dst, want)
+		}
+	}
+	numericGradCheck(t, r, []float64{0.2, -0.8, 1.7, -3}, 1e-5)
+}
+
+// Huber's penalty must be continuous at the threshold and match L2 inside /
+// shifted-L1 outside.
+func TestHuberContinuityAtThreshold(t *testing.T) {
+	r := Huber{Beta: 2, Mu: 0.5}
+	in := r.Penalty([]float64{0.5 - 1e-12})
+	out := r.Penalty([]float64{0.5 + 1e-12})
+	if math.Abs(in-out) > 1e-9 {
+		t.Fatalf("Huber penalty discontinuous at μ: %v vs %v", in, out)
+	}
+}
+
+// All penalties are non-negative, even in w=0, and zero at the origin.
+func TestPenaltiesNonNegativeProperty(t *testing.T) {
+	regs := []Regularizer{
+		None{},
+		L1{Beta: 0.3},
+		L2{Beta: 0.3},
+		ElasticNet{Beta: 0.3, L1Ratio: 0.5},
+		Huber{Beta: 0.3, Mu: 1},
+	}
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(20)
+		w := make([]float64, n)
+		rng.FillNormal(w, 0, 2)
+		zero := make([]float64, n)
+		for _, r := range regs {
+			if r.Penalty(w) < 0 {
+				return false
+			}
+			if r.Penalty(zero) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Gradients always point "uphill": <grad, w> ≥ 0 for these symmetric
+// penalties, so subtracting them shrinks parameters.
+func TestGradsShrinkProperty(t *testing.T) {
+	regs := []Regularizer{
+		L1{Beta: 0.3},
+		L2{Beta: 0.3},
+		ElasticNet{Beta: 0.3, L1Ratio: 0.5},
+		Huber{Beta: 0.3, Mu: 1},
+	}
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 1 + rng.Intn(20)
+		w := make([]float64, n)
+		rng.FillNormal(w, 0, 2)
+		dst := make([]float64, n)
+		for _, r := range regs {
+			r.Grad(w, dst)
+			if tensor.Dot(dst, w) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	L2{Beta: 1}.Grad(make([]float64, 3), make([]float64, 2))
+}
+
+func TestFixedFactoryReturnsSameValue(t *testing.T) {
+	f := Fixed(L2{Beta: 3})
+	r := f(100, 0.1)
+	if r.Name() != "L2 Reg" {
+		t.Fatalf("factory returned %q", r.Name())
+	}
+	if r.(L2).Beta != 3 {
+		t.Fatal("factory must preserve the configured strength")
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Regularizer{
+		"no regularization": None{},
+		"L1 Reg":            L1{},
+		"L2 Reg":            L2{},
+		"Elastic-net Reg":   ElasticNet{},
+		"Huber Reg":         Huber{},
+	}
+	for want, r := range cases {
+		if r.Name() != want {
+			t.Errorf("Name = %q, want %q", r.Name(), want)
+		}
+	}
+}

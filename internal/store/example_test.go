@@ -1,0 +1,30 @@
+package store_test
+
+import (
+	"fmt"
+
+	"gmreg/internal/store"
+)
+
+// Versioned model checkpoints with a cheap what-if fork.
+func Example() {
+	db := store.New()
+	db.Put("model", []byte("epoch-10 weights"))
+	db.Put("model", []byte("epoch-20 weights"))
+	db.Fork("model", "experiment")
+	db.Put("experiment", []byte("variant weights"))
+
+	latest, v, _ := db.Get("model")
+	fmt.Printf("model head: %q (seq %d)\n", latest, v.Seq)
+	old, _, _ := db.GetVersion("model", 1)
+	fmt.Printf("model v1:   %q\n", old)
+	exp, ev, _ := db.Get("experiment")
+	fmt.Printf("fork head:  %q (seq %d)\n", exp, ev.Seq)
+	keys, versions, blobs := db.Stats()
+	fmt.Printf("%d keys, %d versions, %d unique blobs\n", keys, versions, blobs)
+	// Output:
+	// model head: "epoch-20 weights" (seq 2)
+	// model v1:   "epoch-10 weights"
+	// fork head:  "variant weights" (seq 3)
+	// 2 keys, 5 versions, 3 unique blobs
+}

@@ -1,0 +1,158 @@
+// Package store is the storage substrate standing in for Forkbase in the
+// paper's GEMINI stack (Fig. 1): an immutable, content-addressed, versioned
+// key-value store with cheap forks. Every Put appends a new version; history
+// is never rewritten; identical blobs are deduplicated by content hash; a
+// fork shares the source key's full history and diverges from there —
+// the properties GEMINI relies on for storing datasets, model checkpoints
+// and learned regularizer snapshots.
+//
+// The store is in-memory and safe for concurrent use.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Version identifies one immutable revision of a key.
+type Version struct {
+	// Hash is the hex SHA-256 of the value (content address).
+	Hash string
+	// Seq is the 1-based position in the key's history.
+	Seq int
+}
+
+// Store is an immutable versioned KV store. The zero value is not usable;
+// construct with New.
+type Store struct {
+	mu sync.RWMutex
+	// blobs holds content-addressed payloads, shared across keys/versions.
+	blobs map[string][]byte
+	// histories maps key → ordered version hashes.
+	histories map[string][]string
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		blobs:     map[string][]byte{},
+		histories: map[string][]string{},
+	}
+}
+
+// hashOf returns the content address of a value.
+func hashOf(value []byte) string {
+	sum := sha256.Sum256(value)
+	return hex.EncodeToString(sum[:])
+}
+
+// Put appends a new version of key holding value and returns its version.
+// The value is copied; later mutation of the caller's slice does not affect
+// the store. Storing the same bytes twice shares the underlying blob.
+func (s *Store) Put(key string, value []byte) (Version, error) {
+	if key == "" {
+		return Version{}, fmt.Errorf("store: empty key")
+	}
+	h := hashOf(value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[h]; !ok {
+		s.blobs[h] = append([]byte(nil), value...)
+	}
+	s.histories[key] = append(s.histories[key], h)
+	return Version{Hash: h, Seq: len(s.histories[key])}, nil
+}
+
+// Get returns the latest value and version of key.
+func (s *Store) Get(key string) ([]byte, Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.histories[key]
+	if len(hist) == 0 {
+		return nil, Version{}, fmt.Errorf("store: key %q not found", key)
+	}
+	h := hist[len(hist)-1]
+	return s.valueOf(h), Version{Hash: h, Seq: len(hist)}, nil
+}
+
+// GetVersion returns the value of key at the given 1-based sequence number.
+func (s *Store) GetVersion(key string, seq int) ([]byte, Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.histories[key]
+	if len(hist) == 0 {
+		return nil, Version{}, fmt.Errorf("store: key %q not found", key)
+	}
+	if seq < 1 || seq > len(hist) {
+		return nil, Version{}, fmt.Errorf("store: key %q has versions 1..%d, requested %d",
+			key, len(hist), seq)
+	}
+	h := hist[seq-1]
+	return s.valueOf(h), Version{Hash: h, Seq: seq}, nil
+}
+
+// valueOf returns a defensive copy of a blob; callers must hold the lock.
+func (s *Store) valueOf(hash string) []byte {
+	return append([]byte(nil), s.blobs[hash]...)
+}
+
+// History returns the full version list of key, oldest first.
+func (s *Store) History(key string) ([]Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.histories[key]
+	if len(hist) == 0 {
+		return nil, fmt.Errorf("store: key %q not found", key)
+	}
+	out := make([]Version, len(hist))
+	for i, h := range hist {
+		out[i] = Version{Hash: h, Seq: i + 1}
+	}
+	return out, nil
+}
+
+// Fork creates dst as a fork of src: dst starts with src's complete history
+// (sharing blobs) and evolves independently afterwards — Forkbase's
+// fork-without-copy semantics. dst must not already exist.
+func (s *Store) Fork(src, dst string) error {
+	if dst == "" {
+		return fmt.Errorf("store: empty fork name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := s.histories[src]
+	if len(hist) == 0 {
+		return fmt.Errorf("store: key %q not found", src)
+	}
+	if len(s.histories[dst]) > 0 {
+		return fmt.Errorf("store: key %q already exists", dst)
+	}
+	s.histories[dst] = append([]string(nil), hist...)
+	return nil
+}
+
+// Keys returns all keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.histories))
+	for k := range s.histories {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats reports store-level counters: distinct keys, total versions and
+// distinct blobs (versions − blobs = deduplicated writes).
+func (s *Store) Stats() (keys, versions, blobs int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, h := range s.histories {
+		versions += len(h)
+	}
+	return len(s.histories), versions, len(s.blobs)
+}

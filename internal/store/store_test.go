@@ -1,0 +1,217 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	v1, err := s.Put("model", []byte("weights-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Seq != 1 || v1.Hash == "" {
+		t.Fatalf("bad first version %+v", v1)
+	}
+	got, v, err := s.Get("model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "weights-v1" || v != v1 {
+		t.Fatalf("Get = %q %+v", got, v)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	s := New()
+	if _, err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestImmutabilityOfStoredValues(t *testing.T) {
+	s := New()
+	payload := []byte("original")
+	s.Put("k", payload)
+	payload[0] = 'X' // caller mutates after Put
+	got, _, _ := s.Get("k")
+	if string(got) != "original" {
+		t.Fatal("store aliased the caller's slice")
+	}
+	got[0] = 'Y' // caller mutates the returned slice
+	again, _, _ := s.Get("k")
+	if string(again) != "original" {
+		t.Fatal("Get returned an aliased slice")
+	}
+}
+
+func TestVersionHistoryAppendOnly(t *testing.T) {
+	s := New()
+	for i := 1; i <= 5; i++ {
+		v, err := s.Put("k", []byte(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Seq != i {
+			t.Fatalf("version %d has seq %d", i, v.Seq)
+		}
+	}
+	hist, err := s.History("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 5 {
+		t.Fatalf("history length %d, want 5", len(hist))
+	}
+	// Every old version remains readable with its original content.
+	for i := 1; i <= 5; i++ {
+		got, v, err := s.GetVersion("k", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != fmt.Sprintf("v%d", i) || v.Seq != i {
+			t.Fatalf("version %d = %q", i, got)
+		}
+	}
+	if _, _, err := s.GetVersion("k", 0); err == nil {
+		t.Fatal("seq 0 accepted")
+	}
+	if _, _, err := s.GetVersion("k", 6); err == nil {
+		t.Fatal("out-of-range seq accepted")
+	}
+}
+
+func TestContentDeduplication(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("same-bytes"))
+	s.Put("b", []byte("same-bytes"))
+	s.Put("a", []byte("same-bytes")) // re-put same content
+	keys, versions, blobs := s.Stats()
+	if keys != 2 || versions != 3 || blobs != 1 {
+		t.Fatalf("stats = %d keys %d versions %d blobs, want 2/3/1", keys, versions, blobs)
+	}
+}
+
+func TestForkSharesHistoryThenDiverges(t *testing.T) {
+	s := New()
+	s.Put("main", []byte("v1"))
+	s.Put("main", []byte("v2"))
+	if err := s.Fork("main", "branch"); err != nil {
+		t.Fatal(err)
+	}
+	// Fork sees the shared history.
+	got, v, err := s.Get("branch")
+	if err != nil || string(got) != "v2" || v.Seq != 2 {
+		t.Fatalf("fork head = %q %+v (%v)", got, v, err)
+	}
+	// Divergence: writes to the fork do not touch main and vice versa.
+	s.Put("branch", []byte("branch-v3"))
+	s.Put("main", []byte("main-v3"))
+	bGot, bv, _ := s.Get("branch")
+	mGot, mv, _ := s.Get("main")
+	if string(bGot) != "branch-v3" || string(mGot) != "main-v3" || bv.Seq != 3 || mv.Seq != 3 {
+		t.Fatalf("branches entangled: %q/%q", bGot, mGot)
+	}
+	// Shared prefix is still identical.
+	b1, _, _ := s.GetVersion("branch", 1)
+	m1, _, _ := s.GetVersion("main", 1)
+	if string(b1) != string(m1) {
+		t.Fatal("shared history diverged")
+	}
+}
+
+func TestForkErrors(t *testing.T) {
+	s := New()
+	if err := s.Fork("missing", "x"); err == nil {
+		t.Fatal("fork of missing key accepted")
+	}
+	s.Put("a", []byte("v"))
+	s.Put("b", []byte("v"))
+	if err := s.Fork("a", "b"); err == nil {
+		t.Fatal("fork onto existing key accepted")
+	}
+	if err := s.Fork("a", ""); err == nil {
+		t.Fatal("fork to empty name accepted")
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := New()
+	if _, _, err := s.Get("nope"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if _, err := s.History("nope"); err == nil {
+		t.Fatal("missing history accepted")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		s.Put(k, []byte(k))
+	}
+	keys := s.Keys()
+	want := []string{"alpha", "mid", "zeta"}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+// Property: after any sequence of puts, GetVersion(i) returns exactly the
+// i-th value put.
+func TestHistoryFaithfulProperty(t *testing.T) {
+	f := func(values [][]byte) bool {
+		if len(values) == 0 {
+			return true
+		}
+		s := New()
+		for _, v := range values {
+			if _, err := s.Put("k", v); err != nil {
+				return false
+			}
+		}
+		for i, v := range values {
+			got, _, err := s.GetVersion("k", i+1)
+			if err != nil || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	s.Put("shared", []byte("seed"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", g)
+			for i := 0; i < 50; i++ {
+				if _, err := s.Put(key, []byte(fmt.Sprintf("%d-%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.Get("shared"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	keys, versions, _ := s.Stats()
+	if keys != 9 || versions != 401 {
+		t.Fatalf("stats after concurrency: %d keys %d versions", keys, versions)
+	}
+}

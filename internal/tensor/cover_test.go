@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringTruncates(t *testing.T) {
+	a := New(3, 4)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+	}
+	s := a.String()
+	if !strings.HasPrefix(s, "Tensor[3 4][") || !strings.Contains(s, "...") {
+		t.Fatalf("String() = %q", s)
+	}
+	small := FromSlice([]float64{1, 2}, 2)
+	if strings.Contains(small.String(), "...") {
+		t.Fatalf("small tensor should not truncate: %q", small.String())
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(7)
+	for _, v := range a.Data {
+		if v != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Fatal("identical shapes reported different")
+	}
+	if New(2, 3).SameShape(New(3, 2)) {
+		t.Fatal("different shapes reported same")
+	}
+	if New(2, 3).SameShape(New(2, 3, 1)) {
+		t.Fatal("different ranks reported same")
+	}
+}
+
+func TestTransposePanicsOnRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transpose(New(2, 2, 2))
+}
+
+func TestMatMulTransPanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMulTransA(New(2, 3), New(3, 2)) },    // k mismatch
+		func() { MatMulTransB(New(2, 3), New(2, 4)) },    // k mismatch
+		func() { MatMulTransA(New(2, 3, 1), New(2, 3)) }, // rank
+		func() { MatMulTransB(New(2, 3), New(2, 3, 1)) }, // rank
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Large-matrix parallel path: cover the chunked goroutine branches of
+// parallelRows with a correctness check against small tiles.
+func TestMatMulParallelPathCorrect(t *testing.T) {
+	rng := NewRNG(7)
+	const n = 130 // above the 64-row parallel threshold
+	a := New(n, 40)
+	b := New(40, 8)
+	rng.FillNormal(a.Data, 0, 1)
+	rng.FillNormal(b.Data, 0, 1)
+	c := MatMul(a, b)
+	// Spot-check a few entries with direct dot products.
+	for _, i := range []int{0, 63, 64, 129} {
+		for _, j := range []int{0, 7} {
+			var want float64
+			for p := 0; p < 40; p++ {
+				want += a.At2(i, p) * b.At2(p, j)
+			}
+			got := c.At2(i, j)
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}

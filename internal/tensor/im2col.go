@@ -1,0 +1,67 @@
+package tensor
+
+// Im2Col lowers a single image (C×H×W, a view into img starting at offset)
+// into a matrix of shape (outH*outW) × (C*kh*kw) so convolution becomes a
+// matrix multiply against the filter bank. Out-of-bounds taps (padding)
+// contribute zeros.
+func Im2Col(img []float64, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := New(outH*outW, c*kh*kw)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			dst := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
+			idx := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dst[idx] = img[base+iy*w+ix]
+						}
+						idx++
+					}
+				}
+			}
+			row++
+		}
+	}
+	return cols
+}
+
+// Col2Im scatters the gradient of the lowered matrix back into image space,
+// accumulating overlapping taps. dimg must be a zeroed C*H*W slice.
+func Col2Im(cols *Tensor, dimg []float64, c, h, w, kh, kw, stride, pad int) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			src := cols.Data[row*cols.Shape[1] : (row+1)*cols.Shape[1]]
+			idx := 0
+			for ch := 0; ch < c; ch++ {
+				base := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride - pad + kx
+						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+							dimg[base+iy*w+ix] += src[idx]
+						}
+						idx++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window of size k with the given stride and padding over an input of size in.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

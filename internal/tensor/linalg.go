@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul computes C = A·B for rank-2 tensors A (m×k) and B (k×n).
+// The inner loops are ordered i-k-j for cache-friendly row-major access,
+// and rows of the output are computed in parallel across CPU cores.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			ai := a.Data[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n, yielding m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 operands")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	var mu sync.Mutex
+	parallelRows(k, func(lo, hi int) {
+		local := make([]float64, m*n)
+		for p := lo; p < hi; p++ {
+			ap := a.Data[p*m : (p+1)*m]
+			bp := b.Data[p*n : (p+1)*n]
+			for i, av := range ap {
+				if av == 0 {
+					continue
+				}
+				li := local[i*n : (i+1)*n]
+				for j, bv := range bp {
+					li[j] += av * bv
+				}
+			}
+		}
+		mu.Lock()
+		for i, v := range local {
+			c.Data[i] += v
+		}
+		mu.Unlock()
+	})
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var s float64
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// Transpose returns Aᵀ for a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 operand")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return t
+}
+
+// parallelRows splits [0, n) into contiguous chunks and runs f on each chunk
+// concurrently. Small n runs on the calling goroutine.
+func parallelRows(n int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

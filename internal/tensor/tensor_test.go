@@ -1,0 +1,256 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", a.Len())
+	}
+	if a.Rank() != 3 || a.Dim(0) != 2 || a.Dim(1) != 3 || a.Dim(2) != 4 {
+		t.Fatalf("bad shape %v", a.Shape)
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSliceAliasesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	a := FromSlice(d, 2, 2)
+	a.Set2(0, 1, 9)
+	if d[1] != 9 {
+		t.Fatal("FromSlice must alias the slice, not copy it")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Data[0] = 42
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Data[5] = 42
+	if a.Data[5] != 42 {
+		t.Fatal("Reshape must be a view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for element-count mismatch")
+		}
+	}()
+	a.Reshape(4, 2)
+}
+
+func TestAt4Set4RoundTrip(t *testing.T) {
+	a := New(2, 3, 4, 5)
+	a.Set4(1, 2, 3, 4, 7.5)
+	if got := a.At4(1, 2, 3, 4); got != 7.5 {
+		t.Fatalf("At4 = %v, want 7.5", got)
+	}
+	// NCHW layout: the last element of the buffer.
+	if a.Data[len(a.Data)-1] != 7.5 {
+		t.Fatal("Set4(1,2,3,4) should write the final buffer element")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner-dimension mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTransVariantsAgree(t *testing.T) {
+	rng := NewRNG(1)
+	a := New(7, 5)
+	b := New(7, 6)
+	rng.FillNormal(a.Data, 0, 1)
+	rng.FillNormal(b.Data, 0, 1)
+	// Aᵀ·B two ways.
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	assertClose(t, got.Data, want.Data, 1e-12)
+
+	c := New(5, 7)
+	rng.FillNormal(c.Data, 0, 1)
+	// A·Bᵀ two ways (a is 7×5, c is 5×7 → aᵀ? no: MatMulTransB(x m×k, y n×k)).
+	x := New(4, 5)
+	y := New(3, 5)
+	rng.FillNormal(x.Data, 0, 1)
+	rng.FillNormal(y.Data, 0, 1)
+	got2 := MatMulTransB(x, y)
+	want2 := MatMul(x, Transpose(y))
+	assertClose(t, got2.Data, want2.Data, 1e-12)
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := New(m, n)
+		rng.FillNormal(a.Data, 0, 1)
+		b := Transpose(Transpose(a))
+		if !a.SameShape(b) {
+			return false
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul distributes over identity — A·I = A.
+func TestMatMulIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m, n := 1+rng.Intn(6), 1+rng.Intn(6)
+		a := New(m, n)
+		rng.FillNormal(a.Data, 0, 1)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Set2(i, i, 1)
+		}
+		c := MatMul(a, id)
+		for i := range a.Data {
+			if math.Abs(c.Data[i]-a.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1×1 kernel with stride 1, no padding is a pure reshape.
+	img := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	cols := Im2Col(img, 2, 2, 2, 1, 1, 1, 0)
+	if cols.Shape[0] != 4 || cols.Shape[1] != 2 {
+		t.Fatalf("bad cols shape %v", cols.Shape)
+	}
+	// Row r = spatial position, columns = channels.
+	if cols.At2(0, 0) != 1 || cols.At2(0, 1) != 5 || cols.At2(3, 0) != 4 || cols.At2(3, 1) != 8 {
+		t.Fatalf("unexpected cols content %v", cols.Data)
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	img := []float64{1, 2, 3, 4} // 1 channel, 2×2
+	cols := Im2Col(img, 1, 2, 2, 3, 3, 1, 1)
+	if cols.Shape[0] != 4 || cols.Shape[1] != 9 {
+		t.Fatalf("bad cols shape %v", cols.Shape)
+	}
+	// Top-left window: only bottom-right 2×2 of the kernel sees the image.
+	want := []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}
+	for i, v := range want {
+		if cols.At2(0, i) != v {
+			t.Fatalf("cols[0][%d] = %v, want %v", i, cols.At2(0, i), v)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col — <Im2Col(x), y> == <x, Col2Im(y)>.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		c, h, w := 1+rng.Intn(3), 3+rng.Intn(4), 3+rng.Intn(4)
+		k := 1 + rng.Intn(3)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		if h+2*pad < k || w+2*pad < k {
+			return true
+		}
+		x := make([]float64, c*h*w)
+		rng.FillNormal(x, 0, 1)
+		cols := Im2Col(x, c, h, w, k, k, stride, pad)
+		y := New(cols.Shape[0], cols.Shape[1])
+		rng.FillNormal(y.Data, 0, 1)
+		lhs := Dot(cols.Data, y.Data)
+		back := make([]float64, c*h*w)
+		Col2Im(y, back, c, h, w, k, k, stride, pad)
+		rhs := Dot(x, back)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{32, 5, 1, 2, 32},
+		{32, 3, 1, 1, 32},
+		{32, 2, 2, 0, 16},
+		{8, 3, 2, 1, 4},
+	}
+	for _, c := range cases {
+		if got := ConvOutSize(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutSize(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func assertClose(t *testing.T, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("element %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package tensor
+
+import "math"
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst[i] += alpha * x[i] for all i.
+func Axpy(alpha float64, x, dst []float64) {
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x; it returns 0 for empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x; it returns 0 for fewer
+// than two elements.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// ArgMax returns the index of the largest element of x (first on ties).
+// It returns -1 for empty input.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotAxpyScale(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	dst := []float64{1, 1, 1}
+	Axpy(2, a, dst)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Axpy[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	Scale(0.5, dst)
+	want = []float64{1.5, 2.5, 3.5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Scale[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(x); got != 7 {
+		t.Fatalf("Norm1 = %v, want 7", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty input must yield 0")
+	}
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(x); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax(nil) must be -1")
+	}
+	if got := ArgMax([]float64{1, 3, 3, 2}); got != 1 {
+		t.Fatalf("ArgMax ties must pick the first: got %d", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds should diverge immediately")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 64; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(42)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	child := r.Split()
+	// The child stream must not replay the parent's stream.
+	if child.Uint64() == NewRNG(1).Uint64() {
+		t.Fatal("Split child should not equal a fresh parent stream")
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,70 @@
+package train
+
+import (
+	"testing"
+
+	"gmreg/internal/data"
+	"gmreg/internal/models"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+)
+
+func TestAfterEpochCallbackAndEarlyStopLogReg(t *testing.T) {
+	task, err := data.LoadUCI("climate-model", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	var calls []int
+	cfg := smallCfg()
+	cfg.Epochs = 30
+	cfg.AfterEpoch = func(epoch int, loss float64) bool {
+		calls = append(calls, epoch)
+		if loss <= 0 {
+			t.Errorf("epoch %d reported loss %v", epoch, loss)
+		}
+		return epoch < 9 // stop after 10 epochs
+	}
+	res, err := LogReg(task, rows, cfg, reg.Fixed(reg.L2{Beta: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 10 {
+		t.Fatalf("callback ran %d times, want 10", len(calls))
+	}
+	if len(res.History.EpochLoss) != 10 {
+		t.Fatalf("history has %d epochs after early stop, want 10", len(res.History.EpochLoss))
+	}
+	for i, e := range calls {
+		if e != i {
+			t.Fatalf("callback epochs %v not sequential", calls)
+		}
+	}
+}
+
+func TestAfterEpochCallbackNetwork(t *testing.T) {
+	spec := data.DefaultCIFAR(40, 20)
+	spec.Size = 8
+	spec.Classes = 2
+	trainSet, _ := data.GenerateCIFAR(spec, 13)
+	net := models.AlexCIFAR10(3, 8, tensor.NewRNG(5))
+	var calls int
+	cfg := SGDConfig{
+		LearningRate: 0.01, Momentum: 0.9, Epochs: 5, BatchSize: 10, Seed: 6,
+		AfterEpoch: func(epoch int, loss float64) bool {
+			calls++
+			return epoch < 2 // stop after 3 epochs
+		},
+	}
+	res, err := Network(net, trainSet, cfg, reg.Fixed(reg.None{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || len(res.History.EpochLoss) != 3 {
+		t.Fatalf("early stop failed: %d calls, %d history epochs",
+			calls, len(res.History.EpochLoss))
+	}
+}

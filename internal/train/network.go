@@ -1,0 +1,141 @@
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"gmreg/internal/data"
+	"gmreg/internal/nn"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+)
+
+// NetworkResult bundles a trained network with the per-layer regularizers
+// (keyed by parameter-group name, e.g. "conv1/weight") — the handles through
+// which Tables IV and V read the learned GM parameters — and the history.
+type NetworkResult struct {
+	Net     *nn.Network
+	Regs    map[string]reg.Regularizer
+	History *History
+}
+
+// Network trains a convolutional network on an image set with SGD+momentum.
+// Every regularized parameter group (layer weights, not biases or batch-norm
+// scales) gets its own regularizer from factory, mirroring the paper's
+// per-layer GMs that all share one hyper-parameter recipe. The
+// regularization gradient is scaled by 1/N like in LogReg.
+func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory reg.Factory) (*NetworkResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BarzilaiBorwein {
+		return nil, fmt.Errorf("train: Barzilai–Borwein steps are supported for LogReg only")
+	}
+	if trainSet.N == 0 {
+		return nil, fmt.Errorf("train: empty training set")
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	batch := cfg.BatchSize
+	if batch > trainSet.N {
+		batch = trainSet.N
+	}
+	nBatches := (trainSet.N + batch - 1) / batch
+
+	params := net.Params()
+	regs := map[string]reg.Regularizer{}
+	gregs := map[string][]float64{}
+	vels := make([][]float64, len(params))
+	for i, p := range params {
+		vels[i] = make([]float64, len(p.W))
+		if !p.Regularize {
+			continue
+		}
+		r := factory(len(p.W), p.InitStd)
+		if ea, ok := r.(EpochAware); ok {
+			ea.SetBatchesPerEpoch(nBatches)
+		}
+		regs[p.Name] = r
+		gregs[p.Name] = make([]float64, len(p.W))
+	}
+	regScale := 1 / float64(trainSet.N)
+
+	rows := make([]int, trainSet.N)
+	for i := range rows {
+		rows[i] = i
+	}
+	hist := &History{}
+	start := time.Now()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.lrAt(epoch)
+		shuffle(rows, rng)
+		var epochLoss float64
+		for b := 0; b < nBatches; b++ {
+			lo, hi := b*batch, (b+1)*batch
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			var x *tensor.Tensor
+			var y []int
+			if cfg.Augment {
+				x, y = trainSet.AugmentBatch(rows[lo:hi], rng)
+			} else {
+				x, y = trainSet.Batch(rows[lo:hi])
+			}
+			logits := net.Forward(x, true)
+			loss, dLogits := nn.SoftmaxCrossEntropy(logits, y)
+			epochLoss += loss
+			net.ZeroGrads()
+			net.Backward(dLogits)
+			for i, p := range params {
+				if r, ok := regs[p.Name]; ok {
+					buf := gregs[p.Name]
+					r.Grad(p.W, buf)
+					tensor.Axpy(regScale, buf, p.Grad)
+				}
+				v := vels[i]
+				for j := range v {
+					v[j] = cfg.Momentum*v[j] - lr*p.Grad[j]
+					p.W[j] += v[j]
+				}
+			}
+		}
+		meanLoss := epochLoss / float64(nBatches)
+		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
+		hist.EpochTime = append(hist.EpochTime, time.Since(start))
+		if cfg.AfterEpoch != nil && !cfg.AfterEpoch(epoch, meanLoss) {
+			break
+		}
+	}
+	return &NetworkResult{Net: net, Regs: regs, History: hist}, nil
+}
+
+// EvalNetwork returns classification accuracy of the network on an image set
+// (inference mode), evaluated in batches.
+func EvalNetwork(net *nn.Network, set *data.ImageSet, batchSize int) float64 {
+	if set.N == 0 {
+		return 0
+	}
+	if batchSize < 1 {
+		batchSize = 64
+	}
+	var correct int
+	idx := make([]int, 0, batchSize)
+	for lo := 0; lo < set.N; lo += batchSize {
+		hi := lo + batchSize
+		if hi > set.N {
+			hi = set.N
+		}
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		x, y := set.Batch(idx)
+		pred := nn.Predict(net.Forward(x, false))
+		for i, p := range pred {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(set.N)
+}

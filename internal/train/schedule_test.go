@@ -1,0 +1,136 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/data"
+	"gmreg/internal/models"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+)
+
+func TestLRScheduleValidation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.LRDecayEvery = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative LRDecayEvery accepted")
+	}
+	cfg = smallCfg()
+	cfg.LRDecayEvery = 5
+	cfg.LRDecayFactor = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero decay factor accepted")
+	}
+	cfg.LRDecayFactor = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("decay factor > 1 accepted")
+	}
+	cfg.LRDecayFactor = 0.1
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestLRAtSchedule(t *testing.T) {
+	cfg := SGDConfig{LearningRate: 1, LRDecayEvery: 10, LRDecayFactor: 0.5}
+	cases := map[int]float64{0: 1, 9: 1, 10: 0.5, 19: 0.5, 20: 0.25, 35: 0.125}
+	for epoch, want := range cases {
+		if got := cfg.lrAt(epoch); math.Abs(got-want) > 1e-12 {
+			t.Errorf("lrAt(%d) = %v, want %v", epoch, got, want)
+		}
+	}
+	// No schedule → constant.
+	flat := SGDConfig{LearningRate: 0.3}
+	if flat.lrAt(100) != 0.3 {
+		t.Error("unscheduled lrAt must be constant")
+	}
+}
+
+func TestLRScheduleTrainsLogReg(t *testing.T) {
+	task, err := data.LoadUCI("climate-model", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	cfg := smallCfg()
+	cfg.LRDecayEvery = 10
+	cfg.LRDecayFactor = 0.5
+	res, err := LogReg(task, rows, cfg, reg.Fixed(reg.L2{Beta: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.FinalLoss() >= res.History.EpochLoss[0] {
+		t.Error("loss did not decrease under the schedule")
+	}
+}
+
+func TestBBStepFormula(t *testing.T) {
+	// dw = (1, 0), dg = (0.5, 0) → step = |dw|²/|dw·dg| = 1/0.5 = 2.
+	got := bbStep([]float64{1, 0}, []float64{0, 0}, []float64{0.5, 0}, []float64{0, 0}, 0.1, 0.1, 1)
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("bbStep = %v, want 2", got)
+	}
+	// Degenerate curvature keeps the current step.
+	got = bbStep([]float64{1, 1}, []float64{0, 0}, []float64{0, 0}, []float64{0, 0}, 0.7, 0.1, 1)
+	if got != 0.7 {
+		t.Fatalf("degenerate bbStep = %v, want 0.7", got)
+	}
+	// Clamping at base·100 and base/100.
+	got = bbStep([]float64{100, 0}, []float64{0, 0}, []float64{1e-3, 0}, []float64{0, 0}, 0.1, 0.1, 1)
+	if got != 10 {
+		t.Fatalf("bbStep upper clamp = %v, want 10", got)
+	}
+	got = bbStep([]float64{1e-3, 0}, []float64{0, 0}, []float64{100, 0}, []float64{0, 0}, 0.1, 0.1, 1)
+	if got != 0.001 {
+		t.Fatalf("bbStep lower clamp = %v, want 0.001", got)
+	}
+}
+
+func TestBarzilaiBorweinTrainsLogReg(t *testing.T) {
+	task, err := data.LoadUCI("conn-sonar", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	cfg := smallCfg()
+	cfg.Momentum = 0 // SGD-BB is defined for plain SGD
+	cfg.BarzilaiBorwein = true
+	cfg.LearningRate = 0.1 // deliberately small: BB should adapt upward
+	cfg.Epochs = 40
+	bb, err := LogReg(task, rows, cfg, reg.Fixed(reg.L2{Beta: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := cfg
+	fixed.BarzilaiBorwein = false
+	fx, err := LogReg(task, rows, fixed, reg.Fixed(reg.L2{Beta: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.History.FinalLoss() >= bb.History.EpochLoss[0] {
+		t.Error("BB loss did not decrease")
+	}
+	// With a deliberately small base rate, BB should reach a lower training
+	// loss than the fixed step in the same budget.
+	if bb.History.FinalLoss() > fx.History.FinalLoss()+1e-9 {
+		t.Errorf("BB final loss %v not better than fixed %v",
+			bb.History.FinalLoss(), fx.History.FinalLoss())
+	}
+}
+
+func TestBarzilaiBorweinRejectedForNetworks(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BarzilaiBorwein = true
+	set := &data.ImageSet{X: make([]float64, 3*8*8), Y: []int{0}, N: 1, C: 3, H: 8, W: 8, Classes: 2}
+	net := models.AlexCIFAR10(3, 8, tensor.NewRNG(1))
+	if _, err := Network(net, set, cfg, reg.Fixed(reg.None{})); err == nil {
+		t.Fatal("expected error: BB unsupported for networks")
+	}
+}

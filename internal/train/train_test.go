@@ -1,0 +1,264 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/core"
+	"gmreg/internal/data"
+	"gmreg/internal/models"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+)
+
+func smallCfg() SGDConfig {
+	return SGDConfig{LearningRate: 0.5, Momentum: 0.9, Epochs: 30, BatchSize: 32, Seed: 1}
+}
+
+func TestSGDConfigValidate(t *testing.T) {
+	good := smallCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []SGDConfig{
+		{LearningRate: 0, Epochs: 1, BatchSize: 1},
+		{LearningRate: 0.1, Epochs: 0, BatchSize: 1},
+		{LearningRate: 0.1, Epochs: 1, BatchSize: 0},
+		{LearningRate: 0.1, Epochs: 1, BatchSize: 1, Momentum: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// GM factory for tests, using the paper's recipe.
+func gmFactory(cfg func(*core.Config)) reg.Factory {
+	return func(m int, initStd float64) reg.Regularizer {
+		c := core.DefaultConfig(initStd)
+		if cfg != nil {
+			cfg(&c)
+		}
+		return core.MustNewGM(m, c)
+	}
+}
+
+func TestLogRegLearnsUnderEveryRegularizer(t *testing.T) {
+	task, err := data.LoadUCI("climate-model", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	trainRows, testRows := data.StratifiedSplit(task.Y, 0.8, rng)
+	factories := map[string]reg.Factory{
+		"none":    reg.Fixed(reg.None{}),
+		"l1":      reg.Fixed(reg.L1{Beta: 1}),
+		"l2":      reg.Fixed(reg.L2{Beta: 1}),
+		"elastic": reg.Fixed(reg.ElasticNet{Beta: 1, L1Ratio: 0.5}),
+		"huber":   reg.Fixed(reg.Huber{Beta: 1, Mu: 0.5}),
+		"gm":      gmFactory(nil),
+	}
+	for name, f := range factories {
+		res, err := LogReg(task, trainRows, smallCfg(), f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		acc := res.Model.Accuracy(task.X, task.Y, testRows)
+		if acc < 0.7 {
+			t.Errorf("%s: test accuracy %v, want ≥ 0.7", name, acc)
+		}
+		// Loss must have decreased.
+		h := res.History
+		if h.FinalLoss() >= h.EpochLoss[0] {
+			t.Errorf("%s: loss did not decrease (%v -> %v)", name, h.EpochLoss[0], h.FinalLoss())
+		}
+		if len(h.EpochTime) != smallCfg().Epochs {
+			t.Errorf("%s: %d epoch times, want %d", name, len(h.EpochTime), smallCfg().Epochs)
+		}
+		// Cumulative times are monotone.
+		for i := 1; i < len(h.EpochTime); i++ {
+			if h.EpochTime[i] < h.EpochTime[i-1] {
+				t.Errorf("%s: epoch times not cumulative", name)
+			}
+		}
+	}
+}
+
+func TestLogRegErrors(t *testing.T) {
+	task, _ := data.LoadUCI("climate-model", 5)
+	if _, err := LogReg(task, nil, smallCfg(), reg.Fixed(reg.None{})); err == nil {
+		t.Fatal("expected error for empty training rows")
+	}
+	bad := smallCfg()
+	bad.Epochs = 0
+	if _, err := LogReg(task, []int{0, 1}, bad, reg.Fixed(reg.None{})); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+}
+
+// The GM regularizer must actually shrink the weight norm relative to no
+// regularization on the same data and seed.
+func TestGMRegularizationShrinksWeights(t *testing.T) {
+	task := data.GenerateHospFA(data.HospFASpec{
+		Samples: 300, Features: 120, Predictive: 10,
+		SignalScale: 1, LabelFlip: 0.1, PosRate: 0.4,
+	}, 7)
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	cfg := smallCfg()
+	cfg.Epochs = 60
+	noReg, err := LogReg(task, rows, cfg, reg.Fixed(reg.None{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := LogReg(task, rows, cfg, gmFactory(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1, n2 := tensor.Norm2(noReg.Model.W), tensor.Norm2(gm.Model.W); n2 >= n1 {
+		t.Errorf("GM did not shrink weights: ‖w‖ %v (none) vs %v (GM)", n1, n2)
+	}
+	// The trained GM must be inspectable through the result.
+	g, ok := gm.Regularizer.(*core.GM)
+	if !ok {
+		t.Fatal("regularizer is not a GM")
+	}
+	if g.K() < 1 || g.K() > 4 {
+		t.Errorf("learned K = %d out of range", g.K())
+	}
+	if e, m := g.Steps(); e == 0 || m == 0 {
+		t.Error("GM never updated during training")
+	}
+}
+
+// Lazy-update intervals must reduce the number of E/M-steps during real
+// training (the mechanism behind Figs. 5–6).
+func TestLazyUpdateReducesGMWorkInTraining(t *testing.T) {
+	task, err := data.LoadUCI("conn-sonar", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	cfg := smallCfg()
+	cfg.Epochs = 20
+
+	run := func(im, ig int) (eSteps, mSteps int) {
+		res, err := LogReg(task, rows, cfg, gmFactory(func(c *core.Config) {
+			c.WarmupEpochs = 2
+			c.RegInterval = im
+			c.GMInterval = ig
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Regularizer.(*core.GM).Steps()
+	}
+	e1, m1 := run(1, 1)
+	e50, m50 := run(50, 50)
+	if e50 >= e1 || m50 >= m1 {
+		t.Fatalf("lazy update did not reduce work: E %d→%d, M %d→%d", e1, e50, m1, m50)
+	}
+}
+
+func TestNetworkTrainsOnSmallImages(t *testing.T) {
+	spec := data.DefaultCIFAR(120, 60)
+	spec.Size = 8
+	spec.Classes = 4
+	spec.Signal = 1.5
+	trainSet, testSet := data.GenerateCIFAR(spec, 11)
+	rng := tensor.NewRNG(3)
+	cnn := models.AlexCIFAR10(3, 8, rng)
+	cfg := SGDConfig{LearningRate: 0.01, Momentum: 0.9, Epochs: 8, BatchSize: 20, Seed: 4}
+	// At N=120 the 1/N regularization scale is ~400× the paper's CIFAR
+	// setting, so pick γ from the upper end of the paper's grid (weaker
+	// prior) as its cross-validation would.
+	res, err := Network(cnn, trainSet, cfg, gmFactory(func(c *core.Config) { c.Gamma = 0.02 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History.EpochLoss[0] <= res.History.FinalLoss() {
+		t.Errorf("network loss did not decrease: %v -> %v",
+			res.History.EpochLoss[0], res.History.FinalLoss())
+	}
+	acc := EvalNetwork(cnn, testSet, 32)
+	if acc < 0.3 { // chance is 0.25 on 4 classes
+		t.Errorf("test accuracy %v, want ≥ 0.3", acc)
+	}
+	// Per-layer regularizers exist for every weight group.
+	for _, p := range cnn.Params() {
+		_, ok := res.Regs[p.Name]
+		if p.Regularize && !ok {
+			t.Errorf("no regularizer for %s", p.Name)
+		}
+		if !p.Regularize && ok {
+			t.Errorf("unexpected regularizer for %s", p.Name)
+		}
+	}
+}
+
+func TestNetworkAugmentPath(t *testing.T) {
+	spec := data.DefaultCIFAR(40, 20)
+	spec.Size = 8
+	spec.Classes = 2
+	trainSet, _ := data.GenerateCIFAR(spec, 13)
+	rng := tensor.NewRNG(5)
+	net := models.AlexCIFAR10(3, 8, rng)
+	cfg := SGDConfig{LearningRate: 0.01, Momentum: 0.9, Epochs: 2, BatchSize: 10, Seed: 6, Augment: true}
+	if _, err := Network(net, trainSet, cfg, reg.Fixed(reg.L2{Beta: 1})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := models.AlexCIFAR10(3, 8, rng)
+	empty := &data.ImageSet{C: 3, H: 8, W: 8, Classes: 2}
+	if _, err := Network(net, empty, smallCfg(), reg.Fixed(reg.None{})); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	bad := smallCfg()
+	bad.LearningRate = 0
+	set := &data.ImageSet{X: make([]float64, 3*8*8), Y: []int{0}, N: 1, C: 3, H: 8, W: 8, Classes: 2}
+	if _, err := Network(net, set, bad, reg.Fixed(reg.None{})); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+}
+
+func TestEvalNetworkEmptySet(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := models.AlexCIFAR10(3, 8, rng)
+	if got := EvalNetwork(net, &data.ImageSet{C: 3, H: 8, W: 8}, 0); got != 0 {
+		t.Fatalf("empty set accuracy = %v", got)
+	}
+}
+
+func TestHistoryHelpers(t *testing.T) {
+	h := &History{}
+	if h.TotalTime() != 0 || h.FinalLoss() != 0 {
+		t.Fatal("empty history helpers must return zero")
+	}
+}
+
+// Determinism: identical seeds produce identical trained weights.
+func TestLogRegDeterminism(t *testing.T) {
+	task, _ := data.LoadUCI("hepatitis", 21)
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	cfg := smallCfg()
+	cfg.Epochs = 5
+	a, _ := LogReg(task, rows, cfg, gmFactory(nil))
+	b, _ := LogReg(task, rows, cfg, gmFactory(nil))
+	for i := range a.Model.W {
+		if math.Abs(a.Model.W[i]-b.Model.W[i]) > 0 {
+			t.Fatal("training not deterministic")
+		}
+	}
+}

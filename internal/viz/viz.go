@@ -1,0 +1,214 @@
+// Package viz is the visualization substrate standing in for iDat in the
+// paper's GEMINI stack (Fig. 1): a small self-contained SVG chart renderer
+// for the repository's experiment outputs — line charts for the time-per-
+// epoch curves of Figs. 5 and 7, bar charts for the convergence-time
+// comparisons, and density curves for the learned mixtures of Fig. 3.
+// Everything is plain stdlib string building; the output is valid
+// standalone SVG.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+	"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+}
+
+const (
+	width    = 640
+	height   = 400
+	marginL  = 70
+	marginR  = 140
+	marginT  = 40
+	marginB  = 50
+	plotW    = width - marginL - marginR
+	plotH    = height - marginT - marginB
+	tickFont = 11
+)
+
+// LinePlot renders a multi-series line chart (the shape of Figs. 5a/5b/7a/7b).
+func LinePlot(title, xLabel, yLabel string, series []Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return "", fmt.Errorf("viz: series %q has %d x and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if minY > 0 {
+		minY = 0 // anchor time/accuracy axes at zero for honest scaling
+	}
+	sx, sy := scales(minX, maxX, minY, maxY)
+
+	var b strings.Builder
+	svgHeader(&b, title)
+	axes(&b, xLabel, yLabel, minX, maxX, minY, maxY)
+	for i, s := range series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		legendEntry(&b, i, s.Name, color)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// BarChart renders labelled bars (the convergence-time panels of
+// Figs. 5c/6/7c).
+func BarChart(title, yLabel string, labels []string, values []float64) (string, error) {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return "", fmt.Errorf("viz: %d labels for %d values", len(labels), len(values))
+	}
+	maxY := math.Inf(-1)
+	for _, v := range values {
+		if v < 0 {
+			return "", fmt.Errorf("viz: negative bar value %v", v)
+		}
+		maxY = math.Max(maxY, v)
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	_, sy := scales(0, 1, 0, maxY)
+
+	var b strings.Builder
+	svgHeader(&b, title)
+	axes(&b, "", yLabel, 0, 1, 0, maxY)
+	bw := float64(plotW) / float64(len(values)) * 0.7
+	gap := float64(plotW) / float64(len(values))
+	for i, v := range values {
+		x := float64(marginL) + float64(i)*gap + (gap-bw)/2
+		yTop := sy(v)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, yTop, bw, float64(marginT+plotH)-yTop, palette[i%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="%d" text-anchor="middle">%s</text>`+"\n",
+			x+bw/2, marginT+plotH+18, tickFont, escape(labels[i]))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// DensityPlot renders a mixture density curve with optional crossover
+// markers (the Fig. 3 panels).
+func DensityPlot(title string, xs, ps []float64, crossovers []float64) (string, error) {
+	if len(xs) != len(ps) || len(xs) < 2 {
+		return "", fmt.Errorf("viz: density series has %d/%d points", len(xs), len(ps))
+	}
+	maxY := math.Inf(-1)
+	for _, p := range ps {
+		maxY = math.Max(maxY, p)
+	}
+	sx, sy := scales(xs[0], xs[len(xs)-1], 0, maxY)
+
+	var b strings.Builder
+	svgHeader(&b, title)
+	axes(&b, "model parameter w", "mixture probability density", xs[0], xs[len(xs)-1], 0, maxY)
+	var pts []string
+	for i := range xs {
+		pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(xs[i]), sy(ps[i])))
+	}
+	fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+		palette[0], strings.Join(pts, " "))
+	for _, c := range crossovers {
+		for _, x := range []float64{-c, c} {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#d62728" stroke-dasharray="4,3"/>`+"\n",
+				sx(x), marginT, sx(x), marginT+plotH)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="%d" text-anchor="middle" fill="#d62728">A</text>`+"\n",
+			sx(-c), marginT-6, tickFont)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="%d" text-anchor="middle" fill="#d62728">B</text>`+"\n",
+			sx(c), marginT-6, tickFont)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// scales maps data space to SVG space (y inverted).
+func scales(minX, maxX, minY, maxY float64) (sx, sy func(float64) float64) {
+	dx := maxX - minX
+	if dx == 0 {
+		dx = 1
+	}
+	dy := maxY - minY
+	if dy == 0 {
+		dy = 1
+	}
+	sx = func(x float64) float64 {
+		return float64(marginL) + (x-minX)/dx*float64(plotW)
+	}
+	sy = func(y float64) float64 {
+		return float64(marginT+plotH) - (y-minY)/dy*float64(plotH)
+	}
+	return sx, sy
+}
+
+func svgHeader(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, escape(title))
+}
+
+func axes(b *strings.Builder, xLabel, yLabel string, minX, maxX, minY, maxY float64) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	// Min/max tick labels keep the renderer simple but honest.
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="%d" text-anchor="start">%s</text>`+"\n",
+		marginL, marginT+plotH+16, tickFont, trimNum(minX))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="%d" text-anchor="end">%s</text>`+"\n",
+		marginL+plotW, marginT+plotH+16, tickFont, trimNum(maxX))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="%d" text-anchor="end">%s</text>`+"\n",
+		marginL-6, marginT+plotH, tickFont, trimNum(minY))
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="%d" text-anchor="end">%s</text>`+"\n",
+		marginL-6, marginT+10, tickFont, trimNum(maxY))
+	if xLabel != "" {
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-12, escape(xLabel))
+	}
+	if yLabel != "" {
+		fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escape(yLabel))
+	}
+}
+
+func legendEntry(b *strings.Builder, i int, name, color string) {
+	y := marginT + 14 + i*18
+	x := marginL + plotW + 10
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, y-10, color)
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="%d">%s</text>`+"\n", x+16, y, tickFont, escape(name))
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	return s
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinePlotContainsSeries(t *testing.T) {
+	svg, err := LinePlot("Fig 5", "Epoch", "Time (s)", []Series{
+		{Name: "Im=1", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+		{Name: "Im=50", X: []float64{1, 2, 3}, Y: []float64{0.3, 0.6, 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "Fig 5", "Im=1", "Im=50", "polyline", "Epoch", "Time (s)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLinePlotErrors(t *testing.T) {
+	if _, err := LinePlot("t", "x", "y", nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := LinePlot("t", "x", "y", []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	svg, err := BarChart("Convergence", "seconds", []string{"Im=1", "Im=50"}, []float64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<rect") < 3 { // background + 2 bars
+		t.Errorf("bars missing:\n%s", svg)
+	}
+	for _, want := range []string{"Im=1", "Im=50", "Convergence"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if _, err := BarChart("t", "y", []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := BarChart("t", "y", []string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative bar accepted")
+	}
+	// All-zero values must not divide by zero.
+	if _, err := BarChart("t", "y", []string{"a"}, []float64{0}); err != nil {
+		t.Errorf("zero bars rejected: %v", err)
+	}
+}
+
+func TestDensityPlotCrossovers(t *testing.T) {
+	xs := []float64{-2, -1, 0, 1, 2}
+	ps := []float64{0.05, 0.2, 1.0, 0.2, 0.05}
+	svg, err := DensityPlot("horse-colic", xs, ps, []float64{0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossover markers: two dashed lines plus A/B labels.
+	if strings.Count(svg, "stroke-dasharray") != 2 {
+		t.Errorf("crossover markers missing")
+	}
+	if !strings.Contains(svg, ">A<") || !strings.Contains(svg, ">B<") {
+		t.Error("A/B labels missing")
+	}
+	if _, err := DensityPlot("t", []float64{1}, []float64{1}, nil); err == nil {
+		t.Error("single-point density accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	svg, err := BarChart("a<b & c>d", "y", []string{"x<y"}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b") || !strings.Contains(svg, "a&lt;b &amp; c&gt;d") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestDegenerateRangesDoNotNaN(t *testing.T) {
+	svg, err := LinePlot("flat", "x", "y", []Series{
+		{Name: "const", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("degenerate range produced NaN coordinates")
+	}
+}
