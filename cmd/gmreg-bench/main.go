@@ -7,9 +7,11 @@
 //	gmreg-bench -exp all
 //
 // Experiments: table4, table5, table6, table7, table8, fig3, fig4, fig5,
-// fig6, fig7, all. Scales: small (minutes) and full (hours on CPU; matches
-// the paper's budgets where feasible). See EXPERIMENTS.md for the recorded
-// paper-vs-measured comparison.
+// fig6, fig7, hotpath, all. Scales: small (minutes) and full (hours on CPU;
+// matches the paper's budgets where feasible). See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison. The hotpath experiment benchmarks
+// the allocating kernels against the pooled zero-allocation hot path and
+// writes BENCH_hotpath.json.
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|ablations|all")
+		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|ablations|all")
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")

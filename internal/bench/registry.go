@@ -81,6 +81,17 @@ var registry = map[string]runner{
 		_, err := RunAblationHPO(w, s)
 		return err
 	},
+	"hotpath": func(w io.Writer, s Scale, _ Options) error {
+		rep, err := RunHotpath(w, s)
+		if err != nil {
+			return err
+		}
+		if err := WriteHotpathJSON(HotpathJSONPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", HotpathJSONPath)
+		return nil
+	},
 }
 
 // ExperimentIDs returns all registered experiment ids, sorted.

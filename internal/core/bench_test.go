@@ -27,6 +27,19 @@ func benchGM(b *testing.B, k int) (*GM, []float64) {
 	return g, w
 }
 
+// BenchmarkCalResponsibility measures the E-step alone (Eq. 9) with
+// allocation reporting — the hot-path target is zero allocs/op from the
+// reused log-space scratch.
+func BenchmarkCalResponsibility(b *testing.B) {
+	g, w := benchGM(b, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CalResponsibility(w)
+	}
+	b.SetBytes(int64(8 * alexM))
+}
+
 // BenchmarkEStep measures one full responsibility computation plus greg
 // (Eqs. 9–10) over the Alex-sized parameter vector — the per-iteration cost
 // the lazy update amortizes.

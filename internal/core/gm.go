@@ -34,6 +34,9 @@ type GM struct {
 	greg   []float64   // cached regularization gradient
 	sumR   []float64   // Σ_m r_k(w_m) per component
 	sumRW2 []float64   // Σ_m r_k(w_m)·w_m² per component
+	logPi  []float64   // per-call log π scratch (reused, K entries)
+	logLam []float64   // per-call ½·log λ scratch
+	logp   []float64   // per-dimension component log-density scratch
 
 	// Lazy-update bookkeeping (Algorithm 2).
 	it      int
@@ -93,6 +96,9 @@ func (g *GM) allocScratch() {
 	}
 	g.sumR = make([]float64, k)
 	g.sumRW2 = make([]float64, k)
+	g.logPi = make([]float64, k)
+	g.logLam = make([]float64, k)
+	g.logp = make([]float64, k)
 }
 
 // initPrecisions fills lambda per the chosen initialization method (§V-E).
@@ -164,8 +170,7 @@ func (g *GM) SetBatchesPerEpoch(b int) {
 func (g *GM) CalResponsibility(w []float64) {
 	g.checkDim(w)
 	k := len(g.pi)
-	logPi := make([]float64, k)
-	logLam := make([]float64, k)
+	logPi, logLam := g.logPi, g.logLam
 	for i := 0; i < k; i++ {
 		logPi[i] = math.Log(g.pi[i])
 		logLam[i] = 0.5 * math.Log(g.lambda[i])
@@ -174,7 +179,7 @@ func (g *GM) CalResponsibility(w []float64) {
 		g.sumR[i] = 0
 		g.sumRW2[i] = 0
 	}
-	logp := make([]float64, k)
+	logp := g.logp
 	for m, wm := range w {
 		maxLog := math.Inf(-1)
 		for i := 0; i < k; i++ {
@@ -279,14 +284,13 @@ func (g *GM) Grad(w, dst []float64) {
 func (g *GM) Penalty(w []float64) float64 {
 	g.checkDim(w)
 	k := len(g.pi)
-	logPi := make([]float64, k)
-	logLam := make([]float64, k)
+	logPi, logLam := g.logPi, g.logLam
 	for i := 0; i < k; i++ {
 		logPi[i] = math.Log(g.pi[i])
 		logLam[i] = 0.5 * math.Log(g.lambda[i])
 	}
 	var nll float64
-	logp := make([]float64, k)
+	logp := g.logp
 	for _, wm := range w {
 		maxLog := math.Inf(-1)
 		for i := 0; i < k; i++ {

@@ -6,6 +6,8 @@ import "gmreg/internal/tensor"
 type ReLU struct {
 	name string
 	mask []bool // true where x > 0
+
+	yBuf, dxBuf *tensor.Tensor // reused across steps
 }
 
 // NewReLU builds a ReLU activation layer.
@@ -23,12 +25,13 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		r.mask = make([]bool, x.Len())
 	}
 	r.mask = r.mask[:x.Len()]
-	y := tensor.New(x.Shape...)
+	y := ensure(&r.yBuf, x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
 			r.mask[i] = true
 		} else {
+			y.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -37,10 +40,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dy.Shape...)
+	dx := ensure(&r.dxBuf, dy.Shape...)
 	for i, v := range dy.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx

@@ -28,6 +28,8 @@ type BatchNorm struct {
 	mean    []float64
 	invStd  []float64
 	inShape []int
+
+	yBuf, dxBuf *tensor.Tensor // reused across steps
 }
 
 // NewBatchNorm builds a batch-normalization layer over the given channel
@@ -66,7 +68,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b.inShape = append(b.inShape[:0], x.Shape...)
 	plane := h * w
 	count := float64(n * plane)
-	y := tensor.New(x.Shape...)
+	y := ensure(&b.yBuf, x.Shape...)
 
 	if train {
 		b.x = x
@@ -133,7 +135,7 @@ func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c := b.inShape[0], b.inShape[1]
 	plane := b.inShape[2] * b.inShape[3]
 	m := float64(n * plane)
-	dx := tensor.New(b.inShape...)
+	dx := ensure(&b.dxBuf, b.inShape...)
 	for ch := 0; ch < c; ch++ {
 		var sumDy, sumDyXhat float64
 		for s := 0; s < n; s++ {

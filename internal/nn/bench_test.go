@@ -6,30 +6,38 @@ import (
 	"gmreg/internal/tensor"
 )
 
-func BenchmarkConvForward(b *testing.B) {
+func benchmarkConvForward(b *testing.B, batch int) {
 	rng := tensor.NewRNG(1)
 	c := NewConv2D("conv", 32, 32, 5, 1, 2, 0.1, rng)
-	x := tensor.New(8, 32, 16, 16)
+	x := tensor.New(batch, 32, 16, 16)
 	rng.FillNormal(x.Data, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Forward(x, true)
 	}
 }
 
-func BenchmarkConvBackward(b *testing.B) {
+func BenchmarkConvForward(b *testing.B)   { benchmarkConvForward(b, 8) }
+func BenchmarkConvForward64(b *testing.B) { benchmarkConvForward(b, 64) }
+
+func benchmarkConvBackward(b *testing.B, batch int) {
 	rng := tensor.NewRNG(2)
 	c := NewConv2D("conv", 32, 32, 5, 1, 2, 0.1, rng)
-	x := tensor.New(8, 32, 16, 16)
+	x := tensor.New(batch, 32, 16, 16)
 	rng.FillNormal(x.Data, 0, 1)
 	y := c.Forward(x, true)
 	dy := tensor.New(y.Shape...)
 	rng.FillNormal(dy.Data, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Backward(dy)
 	}
 }
+
+func BenchmarkConvBackward(b *testing.B)   { benchmarkConvBackward(b, 8) }
+func BenchmarkConvBackward64(b *testing.B) { benchmarkConvBackward(b, 64) }
 
 func BenchmarkBatchNormForward(b *testing.B) {
 	rng := tensor.NewRNG(3)
@@ -58,6 +66,7 @@ func BenchmarkDenseForwardBackward(b *testing.B) {
 	d := NewDense("fc", 1024, 10, 0.1, rng)
 	x := tensor.New(32, 1024)
 	rng.FillNormal(x.Data, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		y := d.Forward(x, true)

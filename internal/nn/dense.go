@@ -13,8 +13,11 @@ type Dense struct {
 	in, out int
 	weight  *Param
 	bias    *Param
+	wm      *tensor.Tensor // out × in view of weight.W
 
 	x *tensor.Tensor // cached input for Backward
+
+	yBuf, dxBuf, dwBuf *tensor.Tensor // reused across steps
 }
 
 // NewDense builds a fully connected layer with Gaussian-initialized weights
@@ -28,6 +31,7 @@ func NewDense(name string, in, out int, initStd float64, rng *tensor.RNG) *Dense
 		weight: newParam(name+"/weight", out*in, initStd, true),
 		bias:   newParam(name+"/bias", out, 0, false),
 	}
+	d.wm = tensor.FromSlice(d.weight.W, out, in)
 	rng.FillNormal(d.weight.W, 0, initStd)
 	return d
 }
@@ -42,8 +46,8 @@ func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	checkRank(d, x, 2)
 	d.x = x
-	wm := tensor.FromSlice(d.weight.W, d.out, d.in)
-	y := tensor.MatMulTransB(x, wm) // N × out
+	y := ensure(&d.yBuf, x.Shape[0], d.out)
+	tensor.MatMulTransBInto(y, x, d.wm) // N × out
 	n := x.Shape[0]
 	for i := 0; i < n; i++ {
 		row := y.Data[i*d.out : (i+1)*d.out]
@@ -58,7 +62,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Shape[0]
 	// dW = dyᵀ·x  (out × in)
-	dw := tensor.MatMulTransA(dy, d.x)
+	dw := ensure(&d.dwBuf, d.out, d.in)
+	tensor.MatMulTransAInto(dw, dy, d.x)
 	tensor.Axpy(1, dw.Data, d.weight.Grad)
 	// db = column sums of dy.
 	for i := 0; i < n; i++ {
@@ -68,8 +73,9 @@ func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx = dy·W (N × in)
-	wm := tensor.FromSlice(d.weight.W, d.out, d.in)
-	return tensor.MatMul(dy, wm)
+	dx := ensure(&d.dxBuf, n, d.in)
+	tensor.MatMulInto(dx, dy, d.wm)
+	return dx
 }
 
 // Flatten reshapes NCHW activations into N × (C·H·W) row vectors for the

@@ -52,7 +52,10 @@ func newParam(name string, n int, initStd float64, regularize bool) *Param {
 // ∂L/∂input while accumulating parameter gradients into its Params.
 //
 // Layers are stateful across a Forward/Backward pair and not safe for
-// concurrent use.
+// concurrent use. To keep the training hot path allocation-free, layers own
+// the tensors they return: a Forward result is valid until that layer's
+// next Forward call and a Backward result until its next Backward call.
+// Callers that need a longer-lived copy must Clone it.
 type Layer interface {
 	// Name returns the layer's instance name, e.g. "conv1".
 	Name() string

@@ -14,6 +14,8 @@ type MaxPool2D struct {
 	argmax         []int // flat output index → flat input index
 	inShape        []int
 	outH, outW     int
+
+	yBuf, dxBuf *tensor.Tensor // reused across steps
 }
 
 // NewMaxPool2D builds a max pooling layer with a k×k window.
@@ -34,7 +36,7 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	p.inShape = append(p.inShape[:0], x.Shape...)
 	p.outH = tensor.ConvOutSize(h, p.k, p.stride, p.pad)
 	p.outW = tensor.ConvOutSize(w, p.k, p.stride, p.pad)
-	y := tensor.New(n, c, p.outH, p.outW)
+	y := ensure(&p.yBuf, n, c, p.outH, p.outW)
 	if cap(p.argmax) < y.Len() {
 		p.argmax = make([]int, y.Len())
 	}
@@ -79,7 +81,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	dx := ensure(&p.dxBuf, p.inShape...)
+	dx.Zero() // gradient scatters into argmax positions
 	for oi, v := range dy.Data {
 		if idx := p.argmax[oi]; idx >= 0 {
 			dx.Data[idx] += v
@@ -98,6 +101,8 @@ type AvgPool2D struct {
 	inShape        []int
 	kh, kw         int // effective window for the last Forward
 	outH, outW     int
+
+	yBuf, dxBuf *tensor.Tensor // reused across steps
 }
 
 // NewAvgPool2D builds an average pooling layer with a k×k window.
@@ -130,7 +135,7 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	p.outH = tensor.ConvOutSize(h, p.kh, stride, pad)
 	p.outW = tensor.ConvOutSize(w, p.kw, stride, pad)
-	y := tensor.New(n, c, p.outH, p.outW)
+	y := ensure(&p.yBuf, n, c, p.outH, p.outW)
 	area := float64(p.kh * p.kw)
 	oi := 0
 	for s := 0; s < n; s++ {
@@ -163,7 +168,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	dx := ensure(&p.dxBuf, p.inShape...)
+	dx.Zero() // windows overlap; gradients accumulate
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	stride, pad := p.stride, p.pad
 	if p.global {

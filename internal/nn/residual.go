@@ -12,6 +12,8 @@ type Residual struct {
 	Shortcut []Layer
 
 	mask []bool // ReLU mask of the summed output
+
+	yBuf, dsumBuf, dxBuf *tensor.Tensor // reused across steps
 }
 
 // NewResidual builds a residual block. shortcut may be nil for an identity
@@ -49,7 +51,7 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic("nn: " + r.name + ": body/shortcut shape mismatch " +
 			main.String() + " vs " + skip.String())
 	}
-	y := tensor.New(main.Shape...)
+	y := ensure(&r.yBuf, main.Shape...)
 	if cap(r.mask) < y.Len() {
 		r.mask = make([]bool, y.Len())
 	}
@@ -68,10 +70,12 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dsum := tensor.New(dy.Shape...)
+	dsum := ensure(&r.dsumBuf, dy.Shape...)
 	for i, v := range dy.Data {
 		if r.mask[i] {
 			dsum.Data[i] = v
+		} else {
+			dsum.Data[i] = 0
 		}
 	}
 	dmain := dsum
@@ -82,7 +86,7 @@ func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	for i := len(r.Shortcut) - 1; i >= 0; i-- {
 		dskip = r.Shortcut[i].Backward(dskip)
 	}
-	dx := tensor.New(dmain.Shape...)
+	dx := ensure(&r.dxBuf, dmain.Shape...)
 	for i := range dx.Data {
 		dx.Data[i] = dmain.Data[i] + dskip.Data[i]
 	}

@@ -1,0 +1,28 @@
+package nn
+
+import "gmreg/internal/tensor"
+
+// ensure returns a tensor of the given shape backed by *buf, reallocating
+// only when the cached capacity is insufficient — this is how layers reuse
+// their output and scratch buffers across training steps. The returned data
+// is stale; callers must fully overwrite it or call Zero.
+//
+// Buffers handed out this way are owned by the layer: a layer's output is
+// valid until that layer's next Forward (and a Backward result until its
+// next Backward), which is exactly the lifetime the sequential
+// forward/backward training loop needs.
+func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	t := *buf
+	if t == nil || cap(t.Data) < n {
+		t = tensor.New(shape...)
+		*buf = t
+		return t
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}

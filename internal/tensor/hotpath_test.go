@@ -1,0 +1,343 @@
+package tensor
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// ---- naive reference kernels (the pre-pool implementations) ----
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ci := c.Data[i*n : (i+1)*n]
+		ai := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+func naiveMatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+func naiveMatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return c
+}
+
+func equalBits(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v, want %v", name, got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %v, want %v (not bit-identical)",
+				name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// dirty returns an arena tensor pre-filled with garbage, to prove the Into
+// kernels overwrite every element.
+func dirty(shape ...int) *Tensor {
+	d := DefaultArena.Get(shape...)
+	d.Fill(math.NaN())
+	return d
+}
+
+// ---- arena ----
+
+func TestArenaSizeClass(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 64: 6, 65: 7, 1024: 10}
+	for n, want := range cases {
+		if got := sizeClass(n); got != want {
+			t.Errorf("sizeClass(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestArenaReuse(t *testing.T) {
+	var a Arena
+	x := a.Get(8, 16)
+	if x.Shape[0] != 8 || x.Shape[1] != 16 || x.Len() != 128 {
+		t.Fatalf("Get(8,16) gave shape %v len %d", x.Shape, x.Len())
+	}
+	x.Fill(3)
+	a.Put(x)
+	y := a.Get(100) // same size class (128) must reuse x's backing array
+	if &y.Data[0] != &x.Data[0] {
+		t.Fatal("arena did not reuse the freed buffer within a size class")
+	}
+	if y.Len() != 100 {
+		t.Fatalf("reused tensor has len %d, want 100", y.Len())
+	}
+	a.Put(y)
+	z := a.GetZeroed(128)
+	for i, v := range z.Data {
+		if v != 0 {
+			t.Fatalf("GetZeroed left element %d = %v", i, v)
+		}
+	}
+}
+
+func TestArenaSliceRoundTrip(t *testing.T) {
+	var a Arena
+	s := a.GetSlice(300)
+	if len(s) != 300 {
+		t.Fatalf("GetSlice(300) has len %d", len(s))
+	}
+	a.PutSlice(s)
+	s2 := a.GetSlice(512) // class 9 holds caps in [512, 1024): 300→cap 512
+	if &s2[0] != &s[0] {
+		t.Fatal("arena did not reuse slice within its class")
+	}
+}
+
+// ---- worker pool ----
+
+func TestWorkerPoolCoversRangeOnce(t *testing.T) {
+	p := &WorkerPool{Size: 4}
+	const n = 1000
+	var hits [n]int32
+	p.ParallelIndexed(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestWorkerPoolChunkPartition(t *testing.T) {
+	p := &WorkerPool{Size: 4}
+	if got := p.Chunks(1000); got != 4 {
+		t.Fatalf("Chunks(1000) = %d, want 4", got)
+	}
+	if got := p.Chunks(10); got != 1 { // below serial cutoff
+		t.Fatalf("Chunks(10) = %d, want 1", got)
+	}
+	if got := p.Chunks(0); got != 0 {
+		t.Fatalf("Chunks(0) = %d, want 0", got)
+	}
+	// With cutoff satisfied but n < Size, one chunk per element.
+	SetSerialCutoff(2)
+	defer SetSerialCutoff(64)
+	if got := p.Chunks(3); got != 3 {
+		t.Fatalf("Chunks(3) = %d, want 3", got)
+	}
+	seen := make(map[int][2]int)
+	p.ParallelIndexed(3, func(c, lo, hi int) {
+		seen[c] = [2]int{lo, hi} // distinct chunks: no racing writes per key
+	})
+	if len(seen) != 3 {
+		t.Fatalf("got %d chunks, want 3: %v", len(seen), seen)
+	}
+}
+
+// TestWorkerPoolNested is the deadlock regression test: jobs submitted from
+// inside jobs on the same pool must complete because submitters always work
+// on their own ranges.
+func TestWorkerPoolNested(t *testing.T) {
+	SetSerialCutoff(1)
+	defer SetSerialCutoff(64)
+	p := &WorkerPool{Size: 4}
+	var total int64
+	p.Parallel(64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.Parallel(64, func(lo2, hi2 int) {
+				atomic.AddInt64(&total, int64(hi2-lo2))
+			})
+		}
+	})
+	if total != 64*64 {
+		t.Fatalf("nested jobs covered %d elements, want %d", total, 64*64)
+	}
+}
+
+func TestWorkerPoolConcurrentSubmitters(t *testing.T) {
+	SetSerialCutoff(1)
+	defer SetSerialCutoff(64)
+	p := &WorkerPool{Size: 4}
+	done := make(chan int64)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var sum int64
+			for rep := 0; rep < 50; rep++ {
+				p.Parallel(97, func(lo, hi int) {
+					atomic.AddInt64(&sum, int64(hi-lo))
+				})
+			}
+			done <- sum
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-done; got != 50*97 {
+			t.Fatalf("submitter covered %d, want %d", got, 50*97)
+		}
+	}
+}
+
+// ---- pooled kernel equivalence (property tests over random shapes) ----
+
+func randMat(rng *RNG, m, n int) *Tensor {
+	t := New(m, n)
+	rng.FillNormal(t.Data, 0, 1)
+	return t
+}
+
+func TestPooledKernelsBitIdentical(t *testing.T) {
+	rng := NewRNG(11)
+	shapes := [][3]int{}
+	for trial := 0; trial < 30; trial++ {
+		shapes = append(shapes, [3]int{1 + rng.Intn(90), 1 + rng.Intn(90), 1 + rng.Intn(90)})
+	}
+	// Force both the small serial path and the packed/blocked path.
+	shapes = append(shapes, [3]int{130, 300, 260}, [3]int{257, 129, 5}, [3]int{1, 1, 1})
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+
+		want := naiveMatMul(a, b)
+		equalBits(t, "MatMul", MatMul(a, b), want)
+		into := dirty(m, n)
+		MatMulInto(into, a, b)
+		equalBits(t, "MatMulInto", into, want)
+		DefaultArena.Put(into)
+
+		bt := randMat(rng, n, k)
+		wantB := naiveMatMulTransB(a, bt)
+		equalBits(t, "MatMulTransB", MatMulTransB(a, bt), wantB)
+		intoB := dirty(m, n)
+		MatMulTransBInto(intoB, a, bt)
+		equalBits(t, "MatMulTransBInto", intoB, wantB)
+		DefaultArena.Put(intoB)
+
+		at := randMat(rng, k, m)
+		wantA := MatMulTransA(at, b)
+		intoA := dirty(m, n)
+		MatMulTransAInto(intoA, at, b)
+		equalBits(t, "MatMulTransAInto", intoA, wantA)
+		DefaultArena.Put(intoA)
+
+		wantT := New(k, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				wantT.Data[j*m+i] = a.Data[i*k+j]
+			}
+		}
+		equalBits(t, "Transpose", Transpose(a), wantT)
+		intoT := dirty(k, m)
+		TransposeInto(intoT, a)
+		equalBits(t, "TransposeInto", intoT, wantT)
+		DefaultArena.Put(intoT)
+	}
+}
+
+// TestMatMulTransAParallelDeterministic drives the multi-chunk partial
+// reduction (which a single-CPU default pool never takes) on an explicit
+// 4-wide pool: repeated runs must agree bit-for-bit with each other, and
+// match the serial kernel to rounding.
+func TestMatMulTransAParallelDeterministic(t *testing.T) {
+	SetSerialCutoff(8)
+	defer SetSerialCutoff(64)
+	pool := &WorkerPool{Size: 4}
+	rng := NewRNG(13)
+	for trial := 0; trial < 10; trial++ {
+		k, m, n := 8+rng.Intn(200), 1+rng.Intn(60), 1+rng.Intn(60)
+		a, b := randMat(rng, k, m), randMat(rng, k, n)
+		r1, r2 := New(m, n), New(m, n)
+		matMulTransAPool(pool, r1, a, b)
+		matMulTransAPool(pool, r2, a, b)
+		equalBits(t, "MatMulTransA parallel determinism", r2, r1)
+		serial := naiveMatMulTransA(a, b)
+		for i := range serial.Data {
+			if d := math.Abs(r1.Data[i] - serial.Data[i]); d > 1e-9*(1+math.Abs(serial.Data[i])) {
+				t.Fatalf("parallel TransA diverges from serial at %d: %v vs %v",
+					i, r1.Data[i], serial.Data[i])
+			}
+		}
+	}
+}
+
+func TestIm2ColIntoMatchesIm2Col(t *testing.T) {
+	rng := NewRNG(17)
+	for trial := 0; trial < 20; trial++ {
+		c, h, w := 1+rng.Intn(4), 3+rng.Intn(10), 3+rng.Intn(10)
+		k := 1 + rng.Intn(3)
+		stride, pad := 1+rng.Intn(2), rng.Intn(2)
+		if h+2*pad < k || w+2*pad < k {
+			continue
+		}
+		img := make([]float64, c*h*w)
+		rng.FillNormal(img, 0, 1)
+		want := Im2Col(img, c, h, w, k, k, stride, pad)
+		got := dirty(want.Shape...)
+		Im2ColInto(got, img, c, h, w, k, k, stride, pad)
+		equalBits(t, "Im2ColInto", got, want)
+		DefaultArena.Put(got)
+	}
+}
+
+// FuzzMatMulInto cross-checks the packed/blocked kernel against the naive
+// reference on fuzzer-chosen shapes and data seeds.
+func FuzzMatMulInto(f *testing.F) {
+	f.Add(uint64(1), 8, 8, 8)
+	f.Add(uint64(2), 130, 70, 90)
+	f.Add(uint64(3), 1, 300, 2)
+	f.Fuzz(func(t *testing.T, seed uint64, m, k, n int) {
+		if m < 1 || k < 1 || n < 1 || m > 200 || k > 200 || n > 200 {
+			t.Skip()
+		}
+		rng := NewRNG(seed)
+		a, b := randMat(rng, m, k), randMat(rng, k, n)
+		want := naiveMatMul(a, b)
+		got := dirty(m, n)
+		MatMulInto(got, a, b)
+		equalBits(t, "MatMulInto(fuzz)", got, want)
+		DefaultArena.Put(got)
+	})
+}

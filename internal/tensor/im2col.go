@@ -8,6 +8,17 @@ func Im2Col(img []float64, c, h, w, kh, kw, stride, pad int) *Tensor {
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
 	cols := New(outH*outW, c*kh*kw)
+	Im2ColInto(cols, img, c, h, w, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a caller-provided (typically pooled)
+// matrix of shape (outH*outW) × (C*kh*kw). Every element of cols is written
+// (padding taps get explicit zeros), so cols does not need to be zeroed.
+func Im2ColInto(cols *Tensor, img []float64, c, h, w, kh, kw, stride, pad int) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	checkDst("Im2ColInto", cols, outH*outW, c*kh*kw)
 	row := 0
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
@@ -17,10 +28,19 @@ func Im2Col(img []float64, c, h, w, kh, kw, stride, pad int) *Tensor {
 				base := ch * h * w
 				for ky := 0; ky < kh; ky++ {
 					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < kw; kx++ {
+							dst[idx] = 0
+							idx++
+						}
+						continue
+					}
 					for kx := 0; kx < kw; kx++ {
 						ix := ox*stride - pad + kx
-						if iy >= 0 && iy < h && ix >= 0 && ix < w {
+						if ix >= 0 && ix < w {
 							dst[idx] = img[base+iy*w+ix]
+						} else {
+							dst[idx] = 0
 						}
 						idx++
 					}
@@ -29,7 +49,6 @@ func Im2Col(img []float64, c, h, w, kh, kw, stride, pad int) *Tensor {
 			row++
 		}
 	}
-	return cols
 }
 
 // Col2Im scatters the gradient of the lowered matrix back into image space,

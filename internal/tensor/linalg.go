@@ -1,105 +1,270 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
+import "fmt"
+
+// Blocking parameters for the packed MatMul kernel. B is repacked into
+// KC×NC panels so the inner axpy loop streams a contiguous panel row that
+// stays resident in L1/L2 while the kernel sweeps the rows of A. With
+// float64 a panel block is at most 256×128×8 = 256 KiB.
+const (
+	mmKC = 256 // k-extent of a packed panel block
+	mmNC = 128 // j-extent of a packed panel block
+	// mmSmall is the flop count below which packing and fan-out cost more
+	// than they save; such products run on the plain serial kernel.
+	mmSmall = 32 * 1024
 )
 
-// MatMul computes C = A·B for rank-2 tensors A (m×k) and B (k×n).
-// The inner loops are ordered i-k-j for cache-friendly row-major access,
-// and rows of the output are computed in parallel across CPU cores.
-func MatMul(a, b *Tensor) *Tensor {
+func checkMat2(op string, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMul requires rank-2 operands")
+		panic("tensor: " + op + " requires rank-2 operands")
 	}
+}
+
+func checkDst(op string, dst *Tensor, m, n int) {
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst has shape %v, want [%d %d]", op, dst.Shape, m, n))
+	}
+}
+
+// MatMul computes C = A·B for rank-2 tensors A (m×k) and B (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	checkMat2("MatMul", a, b)
+	c := New(a.Shape[0], b.Shape[1])
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A·B without allocating: dst (m×n) is fully
+// overwritten. The kernel tiles over k and j with a packed panel of B drawn
+// from the arena and reused across the parallel i-loop; the per-element
+// accumulation order is identical to the naive i-k-j loop, so results are
+// bit-identical to MatMul and deterministic.
+func MatMulInto(dst, a, b *Tensor) {
+	checkMat2("MatMulInto", a, b)
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	parallelRows(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ci := c.Data[i*n : (i+1)*n]
-			ai := a.Data[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := ai[p]
+	checkDst("MatMulInto", dst, m, n)
+	matMulKernel(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// matMulKernel is the shared C = A·B implementation.
+func matMulKernel(c, a, b []float64, m, k, n int) {
+	if m*k*n < mmSmall {
+		clear(c[:m*n])
+		for i := 0; i < m; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for p, av := range ai {
 				if av == 0 {
 					continue
 				}
-				bp := b.Data[p*n : (p+1)*n]
+				bp := b[p*n : (p+1)*n]
 				for j, bv := range bp {
 					ci[j] += av * bv
 				}
 			}
 		}
-	})
-	return c
+		return
+	}
+	// Pack B once into block-major panels: jc-major, kc-minor, each block
+	// row-major kb×nb. Compute walks blocks in the same order with a
+	// running offset, so no block index arithmetic is needed.
+	packed := DefaultArena.GetSlice(k * n)
+	off := 0
+	for jc := 0; jc < n; jc += mmNC {
+		nb := min(mmNC, n-jc)
+		for kc := 0; kc < k; kc += mmKC {
+			kb := min(mmKC, k-kc)
+			for p := 0; p < kb; p++ {
+				src := b[(kc+p)*n+jc:]
+				copy(packed[off+p*nb:off+(p+1)*nb], src[:nb])
+			}
+			off += kb * nb
+		}
+	}
+	// The serial branch calls the row kernel directly: constructing the
+	// closure would heap-allocate even when it is never sent to the pool.
+	if ParallelChunks(m) <= 1 {
+		matMulPackedRows(c, a, packed, 0, m, k, n)
+	} else {
+		Parallel(m, func(lo, hi int) {
+			matMulPackedRows(c, a, packed, lo, hi, k, n)
+		})
+	}
+	DefaultArena.PutSlice(packed)
+}
+
+// matMulPackedRows computes rows [lo, hi) of C = A·B against the block-major
+// packed copy of B, walking the blocks with a running offset in pack order.
+func matMulPackedRows(c, a, packed []float64, lo, hi, k, n int) {
+	clear(c[lo*n : hi*n])
+	off := 0
+	for jc := 0; jc < n; jc += mmNC {
+		nb := min(mmNC, n-jc)
+		for kc := 0; kc < k; kc += mmKC {
+			kb := min(mmKC, k-kc)
+			for i := lo; i < hi; i++ {
+				ai := a[i*k+kc : i*k+kc+kb]
+				ci := c[i*n+jc : i*n+jc+nb]
+				for p, av := range ai {
+					if av == 0 {
+						continue
+					}
+					brow := packed[off+p*nb : off+(p+1)*nb]
+					for j, bv := range brow {
+						ci[j] += av * bv
+					}
+				}
+			}
+			off += kb * nb
+		}
+	}
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n, yielding m×n.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransA requires rank-2 operands")
+	checkMat2("MatMulTransA", a, b)
+	if a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
 	}
+	c := New(a.Shape[1], b.Shape[1])
+	MatMulTransAInto(c, a, b)
+	return c
+}
+
+// MatMulTransAInto computes dst = Aᵀ·B without allocating from the heap.
+// The reduction over k is split into the worker pool's deterministic chunk
+// partition; each chunk accumulates into a private partial drawn from the
+// arena and partials are summed in chunk order over disjoint row ranges —
+// lock-free and schedule-independent, unlike the old mutex merge.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	matMulTransAPool(&defaultPool, dst, a, b)
+}
+
+// matMulTransAPool is MatMulTransAInto over an explicit worker pool, so the
+// multi-chunk reduction is testable on any machine.
+func matMulTransAPool(pool *WorkerPool, dst, a, b *Tensor) {
+	checkMat2("MatMulTransAInto", a, b)
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	var mu sync.Mutex
-	parallelRows(k, func(lo, hi int) {
-		local := make([]float64, m*n)
-		for p := lo; p < hi; p++ {
-			ap := a.Data[p*m : (p+1)*m]
-			bp := b.Data[p*n : (p+1)*n]
-			for i, av := range ap {
-				if av == 0 {
-					continue
-				}
-				li := local[i*n : (i+1)*n]
-				for j, bv := range bp {
-					li[j] += av * bv
-				}
+	checkDst("MatMulTransAInto", dst, m, n)
+	c := dst.Data
+	chunks := pool.Chunks(k)
+	if chunks <= 1 {
+		clear(c[:m*n])
+		transAAccum(c, a.Data, b.Data, 0, k, m, n)
+		return
+	}
+	mn := m * n
+	partials := DefaultArena.GetSlice(chunks * mn)
+	clear(partials)
+	pool.ParallelIndexed(k, func(chunk, lo, hi int) {
+		transAAccum(partials[chunk*mn:(chunk+1)*mn], a.Data, b.Data, lo, hi, m, n)
+	})
+	// Deterministic reduce: every output row range sums the partials in
+	// ascending chunk order.
+	pool.Parallel(m, func(lo, hi int) {
+		copy(c[lo*n:hi*n], partials[lo*n:hi*n])
+		for ch := 1; ch < chunks; ch++ {
+			base := ch * mn
+			dst := c[lo*n : hi*n]
+			src := partials[base+lo*n : base+hi*n]
+			for i, v := range src {
+				dst[i] += v
 			}
 		}
-		mu.Lock()
-		for i, v := range local {
-			c.Data[i] += v
-		}
-		mu.Unlock()
 	})
-	return c
+	DefaultArena.PutSlice(partials)
+}
+
+// transAAccum accumulates local += A[lo:hi, :]ᵀ · B[lo:hi, :] where A is k×m
+// and B is k×n; local is an m×n buffer the caller has zeroed.
+func transAAccum(local, a, b []float64, lo, hi, m, n int) {
+	for p := lo; p < hi; p++ {
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			li := local[i*n : i*n+n]
+			for j, bv := range bp {
+				li[j] += av * bv
+			}
+		}
+	}
 }
 
 // MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransB requires rank-2 operands")
+	checkMat2("MatMulTransB", a, b)
+	if a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
 	}
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes dst = A·Bᵀ without allocating. Both operands
+// are traversed row-major (the inner product runs along contiguous k), and
+// four output columns are computed per pass so each load of A feeds four
+// independent accumulators.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	checkMat2("MatMulTransBInto", a, b)
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	parallelRows(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : (i+1)*k]
-			ci := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b.Data[j*k : (j+1)*k]
-				var s float64
-				for p, av := range ai {
-					s += av * bj[p]
-				}
-				ci[j] = s
+	checkDst("MatMulTransBInto", dst, m, n)
+	c := dst.Data
+	if ParallelChunks(m) <= 1 {
+		matMulTransBRows(c, a.Data, b.Data, 0, m, k, n)
+	} else {
+		Parallel(m, func(lo, hi int) {
+			matMulTransBRows(c, a.Data, b.Data, lo, hi, k, n)
+		})
+	}
+}
+
+// matMulTransBRows computes rows [lo, hi) of C = A·Bᵀ with a 4-wide column
+// unroll; each accumulator sums over p in ascending order, so results are
+// bit-identical regardless of the unroll.
+func matMulTransBRows(c, a, b []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
 			}
+			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
 		}
-	})
-	return c
+		for ; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var s float64
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
 }
 
 // Transpose returns Aᵀ for a rank-2 tensor.
@@ -107,39 +272,30 @@ func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires a rank-2 operand")
 	}
-	m, n := a.Shape[0], a.Shape[1]
-	t := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			t.Data[j*m+i] = a.Data[i*n+j]
-		}
-	}
+	t := New(a.Shape[1], a.Shape[0])
+	TransposeInto(t, a)
 	return t
 }
 
-// parallelRows splits [0, n) into contiguous chunks and runs f on each chunk
-// concurrently. Small n runs on the calling goroutine.
-func parallelRows(n int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// TransposeInto writes Aᵀ into dst, tiled so both matrices are visited in
+// cache-line-sized blocks.
+func TransposeInto(dst, a *Tensor) {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 operand")
 	}
-	if workers <= 1 || n < 64 {
-		f(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	m, n := a.Shape[0], a.Shape[1]
+	checkDst("TransposeInto", dst, n, m)
+	const tile = 32
+	for ii := 0; ii < m; ii += tile {
+		ih := min(ii+tile, m)
+		for jj := 0; jj < n; jj += tile {
+			jh := min(jj+tile, n)
+			for i := ii; i < ih; i++ {
+				row := a.Data[i*n:]
+				for j := jj; j < jh; j++ {
+					dst.Data[j*m+i] = row[j]
+				}
+			}
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
 }

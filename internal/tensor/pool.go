@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Arena is a size-bucketed free list of tensors used to keep the training
+// hot path allocation-free. Buffers are grouped into power-of-two size
+// classes; Get returns a tensor whose backing slice is drawn from (and later
+// returned to) the class that fits the requested element count. Each bucket
+// is a sync.Pool, so an Arena is safe for concurrent use from the worker
+// pool and per-goroutine caching comes for free.
+//
+// Tensors handed out by Get contain stale data from their previous use; the
+// pooled kernels (MatMulInto, Im2ColInto, ...) overwrite every element, so
+// callers that feed pooled buffers into anything else must Zero them first.
+// Put must only be called once per Get, and the tensor must not be used
+// after it is returned.
+type Arena struct {
+	buckets [arenaClasses]sync.Pool
+	// wrappers recycles the *Tensor headers that GetSlice strips off and
+	// PutSlice needs, so the slice API is allocation-free too.
+	wrappers sync.Pool
+}
+
+// arenaClasses covers element counts up to 2^arenaClasses-1; class i holds
+// slices with capacity in [2^i, 2^(i+1)). 2^27 float64s = 1 GiB, far above
+// any activation or im2col buffer in the CIFAR models.
+const arenaClasses = 28
+
+// DefaultArena is the process-wide arena used by the pooled kernels and the
+// nn layers' scratch buffers.
+var DefaultArena Arena
+
+// sizeClass returns the bucket index whose members can hold n elements:
+// the smallest c with 2^c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a tensor of the given shape whose backing slice comes from the
+// arena when one is available. The data is NOT zeroed.
+func (a *Arena) Get(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: non-positive dimension in Arena.Get")
+		}
+		n *= d
+	}
+	c := sizeClass(n)
+	t, _ := a.buckets[c].Get().(*Tensor)
+	if t == nil {
+		// Allocate the full class capacity so the buffer can serve any
+		// request in this class when it comes back.
+		t = &Tensor{Data: make([]float64, 1<<c)}
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// GetZeroed is Get followed by Zero, for buffers that are accumulated into.
+func (a *Arena) GetZeroed(shape ...int) *Tensor {
+	t := a.Get(shape...)
+	t.Zero()
+	return t
+}
+
+// Put returns a tensor obtained from Get to the arena. Tensors constructed
+// elsewhere may also be donated as long as nothing aliases their data.
+func (a *Arena) Put(t *Tensor) {
+	if t == nil || cap(t.Data) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(t.Data))) - 1 // floor log2: capacity >= 2^c
+	if c >= arenaClasses {
+		c = arenaClasses - 1
+	}
+	a.buckets[c].Put(t)
+}
+
+// GetSlice returns a float64 scratch slice of length n from the arena.
+func (a *Arena) GetSlice(n int) []float64 {
+	t := a.Get(n)
+	s := t.Data
+	t.Data = nil
+	a.wrappers.Put(t)
+	return s
+}
+
+// PutSlice returns a slice obtained from GetSlice (or any heap slice of
+// power-of-two-friendly capacity) to the arena.
+func (a *Arena) PutSlice(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	t, _ := a.wrappers.Get().(*Tensor)
+	if t == nil {
+		t = &Tensor{}
+	}
+	t.Data = s
+	a.Put(t)
+}

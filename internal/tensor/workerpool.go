@@ -1,0 +1,185 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// The worker pool replaces the per-call `go func` fan-out the kernels and
+// the nn layers used to do: a fixed set of goroutines is started once
+// (lazily) and every Parallel call afterwards launches zero goroutines.
+//
+// Deadlock freedom under nesting (a conv layer parallelizes over samples and
+// each sample's matmul parallelizes over rows) comes from two rules:
+//
+//  1. The submitting goroutine always works on its own job; helpers are
+//     invited with non-blocking channel sends and merely steal chunks.
+//  2. Workers never block on anything except the job channel, so a job's
+//     chunks are always drained by goroutines that are actively running.
+//
+// The chunk partition of [0, n) depends only on n and the pool size — never
+// on how many helpers actually join — so callers that keep per-chunk state
+// (per-chunk gradient partials, MatMulTransA partial products) get
+// deterministic, schedule-independent results.
+
+// serialCutoff is the row count below which Parallel runs on the calling
+// goroutine. The default was benchmark-tuned with BenchmarkParallelCutoff
+// (see bench_test.go): job post + steal overhead is ~1µs, so rows cheaper
+// than ~15ns each need n in the tens before fan-out pays for itself. It can
+// be overridden for other machines via SetSerialCutoff or the
+// GMREG_SERIAL_CUTOFF environment variable.
+var serialCutoff int64 = 64
+
+func init() {
+	if s := os.Getenv("GMREG_SERIAL_CUTOFF"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			serialCutoff = int64(v)
+		}
+	}
+}
+
+// SetSerialCutoff overrides the minimum n for which Parallel fans out.
+func SetSerialCutoff(n int) {
+	if n < 1 {
+		n = 1
+	}
+	atomic.StoreInt64(&serialCutoff, int64(n))
+}
+
+// SerialCutoff returns the current serial/parallel threshold.
+func SerialCutoff() int { return int(atomic.LoadInt64(&serialCutoff)) }
+
+// WorkerPool is a persistent pool of worker goroutines executing chunked
+// range jobs. The zero value with a Size is usable; methods start the
+// workers on first use.
+type WorkerPool struct {
+	// Size is the number of goroutines that can work on a job concurrently,
+	// including the submitter. 0 means GOMAXPROCS at first use.
+	Size int
+
+	once  sync.Once
+	tasks chan *rangeJob
+}
+
+// width is the effective pool size. It reads only the immutable Size
+// configuration (set before first use), so it is race-free.
+func (p *WorkerPool) width() int {
+	if p.Size > 0 {
+		return p.Size
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// rangeJob is one Parallel invocation: a fixed partition of [0, n) into
+// chunks claimed by an atomic counter.
+type rangeJob struct {
+	n, chunk, chunks int
+	next             int64
+	f                func(chunk, lo, hi int)
+	wg               sync.WaitGroup
+}
+
+// run claims and executes chunks until the job is exhausted.
+func (j *rangeJob) run() {
+	for {
+		c := int(atomic.AddInt64(&j.next, 1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo := c * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.f(c, lo, hi)
+		j.wg.Done()
+	}
+}
+
+func (p *WorkerPool) start() {
+	p.once.Do(func() {
+		size := p.width()
+		// Buffered so invitations almost never fall back to the submitter
+		// doing all the work; a full channel is still fine (see Parallel).
+		p.tasks = make(chan *rangeJob, 4*size)
+		for i := 1; i < size; i++ {
+			go func() {
+				for j := range p.tasks {
+					j.run()
+				}
+			}()
+		}
+	})
+}
+
+// Chunks returns the number of chunks ParallelIndexed will partition
+// [0, n) into — callers allocating per-chunk state size it with this. The
+// partition is a pure function of n and the pool size.
+func (p *WorkerPool) Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	size := p.width()
+	if size <= 1 || int64(n) < atomic.LoadInt64(&serialCutoff) {
+		return 1
+	}
+	if size > n {
+		size = n
+	}
+	return size
+}
+
+// ParallelIndexed partitions [0, n) into Chunks(n) contiguous chunks and
+// runs f(chunk, lo, hi) for each, using the pool's workers plus the calling
+// goroutine. f is called exactly once per chunk; chunk indices are dense in
+// [0, Chunks(n)). It is safe to call from inside another job (nested
+// parallelism) and from multiple goroutines at once.
+func (p *WorkerPool) ParallelIndexed(n int, f func(chunk, lo, hi int)) {
+	chunks := p.Chunks(n)
+	if chunks == 0 {
+		return
+	}
+	if chunks == 1 {
+		f(0, 0, n)
+		return
+	}
+	p.start()
+	j := &rangeJob{n: n, chunk: (n + chunks - 1) / chunks, chunks: chunks, f: f}
+	j.wg.Add(chunks)
+	// Invite up to size-1 helpers without ever blocking: if the queue is
+	// full the submitter simply runs more chunks itself.
+invite:
+	for i := 1; i < p.width(); i++ {
+		select {
+		case p.tasks <- j:
+		default:
+			break invite
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}
+
+// Parallel runs f over contiguous sub-ranges of [0, n) concurrently; the
+// chunk index is dropped for callers that don't keep per-chunk state.
+func (p *WorkerPool) Parallel(n int, f func(lo, hi int)) {
+	p.ParallelIndexed(n, func(_, lo, hi int) { f(lo, hi) })
+}
+
+// defaultPool serves the package-level Parallel helpers used by the kernels
+// and the nn layers.
+var defaultPool WorkerPool
+
+// Parallel runs f over contiguous sub-ranges of [0, n) on the shared
+// process-wide worker pool.
+func Parallel(n int, f func(lo, hi int)) { defaultPool.Parallel(n, f) }
+
+// ParallelIndexed is the chunk-indexed variant on the shared pool; the
+// partition is deterministic (see WorkerPool.ParallelIndexed).
+func ParallelIndexed(n int, f func(chunk, lo, hi int)) { defaultPool.ParallelIndexed(n, f) }
+
+// ParallelChunks returns the chunk count the shared pool will use for n.
+func ParallelChunks(n int) int { return defaultPool.Chunks(n) }
