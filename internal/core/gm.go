@@ -284,13 +284,16 @@ func (g *GM) Grad(w, dst []float64) {
 func (g *GM) Penalty(w []float64) float64 {
 	g.checkDim(w)
 	k := len(g.pi)
-	logPi, logLam := g.logPi, g.logLam
+	// Penalty is off the hot path and is the one method eval code may call
+	// concurrently with training, so it keeps its scratch local instead of
+	// sharing g.logPi/g.logLam/g.logp with CalResponsibility.
+	scratch := make([]float64, 3*k)
+	logPi, logLam, logp := scratch[:k], scratch[k:2*k], scratch[2*k:]
 	for i := 0; i < k; i++ {
 		logPi[i] = math.Log(g.pi[i])
 		logLam[i] = 0.5 * math.Log(g.lambda[i])
 	}
 	var nll float64
-	logp := g.logp
 	for _, wm := range w {
 		maxLog := math.Inf(-1)
 		for i := 0; i < k; i++ {

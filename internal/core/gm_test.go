@@ -390,6 +390,31 @@ func TestMustNewGMPanicsOnError(t *testing.T) {
 	assertPanics(t, func() { MustNewGM(0, testConfig()) })
 }
 
+// TestPenaltyConcurrentWithEStep guards Penalty's allocation-local scratch:
+// eval code may evaluate the penalty while training runs E-steps on the same
+// GM, so Penalty must not share the per-call log-space buffers with
+// CalResponsibility. Run under -race this catches any reintroduced sharing.
+func TestPenaltyConcurrentWithEStep(t *testing.T) {
+	g := MustNewGM(64, testConfig())
+	w := make([]float64, 64)
+	rng := tensor.NewRNG(7)
+	rng.FillNormal(w, 0, 0.1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			g.CalResponsibility(w)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if nll := g.Penalty(w); math.IsNaN(nll) {
+			t.Error("Penalty returned NaN")
+			break
+		}
+	}
+	<-done
+}
+
 func assertPanics(t *testing.T, f func()) {
 	t.Helper()
 	defer func() {

@@ -121,6 +121,25 @@ func TestArenaReuse(t *testing.T) {
 	}
 }
 
+// TestArenaOversized: requests beyond the largest size class must not index
+// past the bucket array (Get used to panic where Put clamped) and must
+// allocate exactly n elements instead of rounding up to a power of two.
+func TestArenaOversized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates >1 GiB")
+	}
+	var a Arena
+	n := (1 << (arenaClasses - 1)) + 1
+	x := a.Get(n)
+	if x.Len() != n {
+		t.Fatalf("oversized Get has len %d, want %d", x.Len(), n)
+	}
+	if cap(x.Data) != n {
+		t.Fatalf("oversized Get rounded capacity up to %d, want exactly %d", cap(x.Data), n)
+	}
+	a.Put(x) // must clamp into the largest class without panicking
+}
+
 func TestArenaSliceRoundTrip(t *testing.T) {
 	var a Arena
 	s := a.GetSlice(300)
@@ -175,6 +194,51 @@ func TestWorkerPoolChunkPartition(t *testing.T) {
 	})
 	if len(seen) != 3 {
 		t.Fatalf("got %d chunks, want 3: %v", len(seen), seen)
+	}
+}
+
+// TestWorkerPoolOvershootClamp is the regression test for the chunk-overshoot
+// panic: with chunk = ceil(n/chunks), n=65 on a 16-wide pool gives chunk=5 and
+// chunk 14 used to start at lo=70 > n. The partition must clamp to empty
+// trailing ranges, still visit every index exactly once, and never hand a
+// caller lo > hi (which made slice expressions like c[lo*n:hi*n] panic).
+func TestWorkerPoolOvershootClamp(t *testing.T) {
+	p := &WorkerPool{Size: 16}
+	for _, n := range []int{65, 64, 97, 100, 1000} {
+		hits := make([]int32, n)
+		p.ParallelIndexed(n, func(_, lo, hi int) {
+			if lo > hi || lo > n || hi > n {
+				panic("chunk range out of bounds")
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+// TestMatMulTransAOvershootShapes drives the multi-chunk reduction with a
+// k that used to overshoot the partition (the reviewer's reproducer:
+// Parallel(65) on a Size:16 pool panicked slicing [700:650]).
+func TestMatMulTransAOvershootShapes(t *testing.T) {
+	pool := &WorkerPool{Size: 16}
+	rng := NewRNG(29)
+	for _, k := range []int{65, 97, 130} {
+		m, n := 7, 9
+		a, b := randMat(rng, k, m), randMat(rng, k, n)
+		got := New(m, n)
+		matMulTransAPool(pool, got, a, b)
+		serial := naiveMatMulTransA(a, b)
+		for i := range serial.Data {
+			if d := math.Abs(got.Data[i] - serial.Data[i]); d > 1e-9*(1+math.Abs(serial.Data[i])) {
+				t.Fatalf("k=%d: element %d = %v, want %v", k, i, got.Data[i], serial.Data[i])
+			}
+		}
 	}
 }
 

@@ -53,6 +53,12 @@ func (a *Arena) Get(shape ...int) *Tensor {
 		n *= d
 	}
 	c := sizeClass(n)
+	if c >= arenaClasses {
+		// Oversized request: bypass the buckets entirely rather than
+		// rounding up to a power-of-two capacity twice the ask. Put will
+		// still accept the buffer back into the largest class.
+		return &Tensor{Data: make([]float64, n), Shape: append([]int(nil), shape...)}
+	}
 	t, _ := a.buckets[c].Get().(*Tensor)
 	if t == nil {
 		// Allocate the full class capacity so the buffer can serve any

@@ -89,11 +89,14 @@ func (j *rangeJob) run() {
 		if c >= j.chunks {
 			return
 		}
-		lo := c * j.chunk
-		hi := lo + j.chunk
-		if hi > j.n {
-			hi = j.n
-		}
+		// Clamp both bounds: with chunk = ceil(n/chunks) the last chunk
+		// indices can start past n (e.g. n=65, 16 chunks -> chunk=5, chunk
+		// 14 starts at 70). Those chunks run f with an empty range lo == hi
+		// == n, which is safe for every caller (slices [lo*c:hi*c] are
+		// empty, loops don't execute) and keeps chunk indices dense so
+		// per-chunk state sized with Chunks(n) still works.
+		lo := min(c*j.chunk, j.n)
+		hi := min(lo+j.chunk, j.n)
 		j.f(c, lo, hi)
 		j.wg.Done()
 	}
@@ -135,7 +138,8 @@ func (p *WorkerPool) Chunks(n int) int {
 // ParallelIndexed partitions [0, n) into Chunks(n) contiguous chunks and
 // runs f(chunk, lo, hi) for each, using the pool's workers plus the calling
 // goroutine. f is called exactly once per chunk; chunk indices are dense in
-// [0, Chunks(n)). It is safe to call from inside another job (nested
+// [0, Chunks(n)). When n does not divide evenly, trailing chunks may get an
+// empty range (lo == hi == n). It is safe to call from inside another job (nested
 // parallelism) and from multiple goroutines at once.
 func (p *WorkerPool) ParallelIndexed(n int, f func(chunk, lo, hi int)) {
 	chunks := p.Chunks(n)
