@@ -7,11 +7,13 @@
 //	gmreg-bench -exp all
 //
 // Experiments: table4, table5, table6, table7, table8, fig3, fig4, fig5,
-// fig6, fig7, hotpath, all. Scales: small (minutes) and full (hours on CPU;
-// matches the paper's budgets where feasible). See EXPERIMENTS.md for the
-// recorded paper-vs-measured comparison. The hotpath experiment benchmarks
-// the allocating kernels against the pooled zero-allocation hot path and
-// writes BENCH_hotpath.json.
+// fig6, fig7, hotpath, serve, all. Scales: small (minutes) and full (hours on
+// CPU; matches the paper's budgets where feasible). See EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison. The hotpath experiment
+// benchmarks the allocating kernels against the pooled zero-allocation hot
+// path and writes BENCH_hotpath.json; the serve experiment sweeps the
+// micro-batching predictor's batch-window settings under concurrent load and
+// writes BENCH_serve.json.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|ablations|all")
+		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|ablations|all")
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")

@@ -7,12 +7,18 @@
 //	gmreg-train -dataset hosp-fa -reg l2 -beta 1
 //	gmreg-train -dataset cifar -model alex -reg gm -epochs 6
 //	gmreg-train -csv mydata.csv -label outcome -reg gm
+//	gmreg-train -dataset horse-colic -save horse-colic -store ckpt.store
 //
 // Tabular datasets train logistic regression; -dataset cifar trains the
 // chosen CNN on the synthetic CIFAR substitute; -csv brings your own
 // binary-classification table (numeric features, 0/1 label column, missing
 // cells as empty/?/NA). With -reg gm the learned per-layer mixtures are
 // printed after training.
+//
+// -save KEY appends the trained model (weights, batch-norm statistics, and
+// the learned GM snapshot) as a new version of KEY in the checkpoint store
+// file named by -store, creating the file if needed. gmreg-serve serves and
+// hot-reloads such stores.
 package main
 
 import (
@@ -26,6 +32,9 @@ import (
 	"gmreg/internal/core"
 	"gmreg/internal/data"
 	"gmreg/internal/models"
+	"gmreg/internal/nn"
+	"gmreg/internal/serve"
+	"gmreg/internal/store"
 	"gmreg/internal/tensor"
 	"gmreg/internal/train"
 )
@@ -47,9 +56,12 @@ func main() {
 		testN   = flag.Int("cifar-test", 200, "synthetic CIFAR test samples")
 		size    = flag.Int("cifar-size", 16, "synthetic CIFAR image size (32 = paper geometry)")
 		saveGM  = flag.String("save-gm", "", "write the learned GM snapshot JSON here (tabular + -reg gm only; inspect with gmreg-inspect)")
+		save    = flag.String("save", "", "append the trained model as a new checkpoint version under this store key")
+		stPath  = flag.String("store", "gmreg.store", "checkpoint store file for -save (created if missing)")
 	)
 	flag.Parse()
 	gmSnapshotPath = *saveGM
+	saveKey, savePath = *save, *stPath
 
 	factory, err := buildFactory(*regName, *beta, *gamma)
 	if err != nil {
@@ -135,11 +147,12 @@ func trainAndReport(task *data.Task, cfg train.SGDConfig, factory gmreg.Factory,
 	if err != nil {
 		return err
 	}
+	testAcc := res.Model.Accuracy(task.X, task.Y, testRows)
 	fmt.Printf("dataset %s: %d samples × %d features\n", task.Name, task.NumSamples(), task.NumFeatures())
 	fmt.Printf("regularizer: %s\n", res.Regularizer.Name())
 	fmt.Printf("final training loss: %.4f (%.2fs)\n", res.History.FinalLoss(), res.History.TotalTime().Seconds())
 	fmt.Printf("train accuracy: %.3f\n", res.Model.Accuracy(task.X, task.Y, trainRows))
-	fmt.Printf("test accuracy:  %.3f\n", res.Model.Accuracy(task.X, task.Y, testRows))
+	fmt.Printf("test accuracy:  %.3f\n", testAcc)
 	if g, ok := res.Regularizer.(*core.GM); ok {
 		printGM("weights", g)
 		if gmSnapshotPath != "" {
@@ -152,6 +165,23 @@ func trainAndReport(task *data.Task, cfg train.SGDConfig, factory gmreg.Factory,
 			}
 			fmt.Printf("GM snapshot written to %s\n", gmSnapshotPath)
 		}
+	}
+	if saveKey != "" {
+		var gmBlob []byte
+		if g, ok := res.Regularizer.(*core.GM); ok {
+			var err error
+			if gmBlob, err = json.Marshal(g); err != nil {
+				return err
+			}
+		}
+		meta := map[string]string{
+			"dataset":       task.Name,
+			"regularizer":   res.Regularizer.Name(),
+			"test_accuracy": fmt.Sprintf("%.4f", testAcc),
+			"seed":          fmt.Sprintf("%d", seed),
+		}
+		spec := models.Spec{Family: "logreg", In: task.NumFeatures()}
+		return saveCheckpoint(spec, models.LogRegNetwork(res.Model), gmBlob, meta)
 	}
 	return nil
 }
@@ -174,21 +204,68 @@ func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, 
 	if err != nil {
 		return err
 	}
+	testAcc := train.EvalNetwork(net, testSet, 64)
 	fmt.Printf("final training loss: %.4f (%.2fs)\n", res.History.FinalLoss(), res.History.TotalTime().Seconds())
 	fmt.Printf("train accuracy: %.3f\n", train.EvalNetwork(net, trainSet, 64))
-	fmt.Printf("test accuracy:  %.3f\n", train.EvalNetwork(net, testSet, 64))
+	fmt.Printf("test accuracy:  %.3f\n", testAcc)
 	var names []string
 	for n := range res.Regs {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	gms := map[string]*core.GM{}
 	for _, n := range names {
 		if g, ok := res.Regs[n].(*core.GM); ok {
 			printGM(n, g)
+			gms[n] = g
 		}
+	}
+	if saveKey != "" {
+		family := "alex"
+		if model == "resnet" {
+			family = "resnet"
+		}
+		var gmBlob []byte
+		if len(gms) > 0 {
+			if gmBlob, err = json.Marshal(gms); err != nil {
+				return err
+			}
+		}
+		meta := map[string]string{
+			"dataset":       "cifar",
+			"model":         model,
+			"test_accuracy": fmt.Sprintf("%.4f", testAcc),
+			"seed":          fmt.Sprintf("%d", seed),
+		}
+		return saveCheckpoint(models.Spec{Family: family, InC: 3, Size: size}, net, gmBlob, meta)
 	}
 	return nil
 }
+
+// saveCheckpoint appends the trained model as a new version of the -save key
+// in the -store snapshot file, creating the file if it does not exist.
+func saveCheckpoint(spec models.Spec, net *nn.Network, gm []byte, meta map[string]string) error {
+	st, err := store.LoadOrNew(savePath)
+	if err != nil {
+		return err
+	}
+	ckpt, err := serve.NewCheckpoint(spec, net, gm, meta)
+	if err != nil {
+		return err
+	}
+	v, err := serve.PutCheckpoint(st, saveKey, ckpt)
+	if err != nil {
+		return err
+	}
+	if err := store.SaveFile(savePath, st); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint %s@v%d (%.12s…) written to %s\n", saveKey, v.Seq, v.Hash, savePath)
+	return nil
+}
+
+// saveKey/savePath are the -save/-store destinations ("" = disabled).
+var saveKey, savePath string
 
 func printGM(name string, g *core.GM) {
 	fmt.Printf("learned GM for %s: π = %v, λ = %v\n", name, rounded(g.Pi()), rounded(g.Lambda()))

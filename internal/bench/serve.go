@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gmreg/internal/models"
+	"gmreg/internal/serve"
+	"gmreg/internal/store"
+	"gmreg/internal/tensor"
+)
+
+// The serve experiment measures the micro-batching predictor under
+// closed-loop concurrent load: for each batch-window setting it drives C
+// clients issuing back-to-back predicts and reports throughput, latency
+// percentiles, and the realized batch size. The spread between the
+// "unbatched" row and the batched rows is the coalescing win; the wait-window
+// rows show the latency price of holding a batch open. Results land in
+// BENCH_serve.json.
+
+// ServeCase is one batch-window setting's measurement.
+type ServeCase struct {
+	Name          string  `json:"name"`
+	MaxBatch      int     `json:"max_batch"`
+	MaxWaitMs     float64 `json:"max_wait_ms"`
+	Requests      int64   `json:"requests"`
+	Forwards      int64   `json:"forwards"`
+	AvgBatch      float64 `json:"avg_batch"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// ServeReport is the full sweep written to BENCH_serve.json.
+type ServeReport struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Replicas   int         `json:"replicas"`
+	Clients    int         `json:"clients"`
+	PerClient  int         `json:"requests_per_client"`
+	Cases      []ServeCase `json:"cases"`
+}
+
+// ServeJSONPath is where the serve experiment writes its JSON report.
+const ServeJSONPath = "BENCH_serve.json"
+
+// RunServe sweeps batch-window settings over the micro-batching predictor
+// and prints the comparison table.
+func RunServe(w io.Writer, s Scale) (*ServeReport, error) {
+	clients, perClient := 8, 100
+	if s.Label == "full" {
+		clients, perClient = 32, 300
+	}
+	replicas := max(1, runtime.GOMAXPROCS(0)/2)
+
+	spec := models.Spec{Family: "mlp", In: 32, Hidden: 64, Classes: 10}
+	net, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	ckpt, err := serve.NewCheckpoint(spec, net, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	model := &serve.Model{Key: "bench", Version: store.Version{Hash: "bench", Seq: 1}, Ckpt: ckpt}
+
+	rng := tensor.NewRNG(7)
+	inputs := make([][]float64, clients)
+	for i := range inputs {
+		x := make([]float64, spec.In)
+		rng.FillNormal(x, 0, 1)
+		inputs[i] = x
+	}
+
+	settings := []struct {
+		name     string
+		maxBatch int
+		maxWait  time.Duration
+	}{
+		{"unbatched", 1, -1},
+		{"batch8-wait1ms", 8, time.Millisecond},
+		{"batch32-nowait", 32, -1},
+		{"batch32-wait2ms", 32, 2 * time.Millisecond},
+	}
+
+	rep := &ServeReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Replicas:   replicas,
+		Clients:    clients,
+		PerClient:  perClient,
+	}
+	for _, set := range settings {
+		c, err := runServeCase(model, serve.Config{
+			Replicas: replicas,
+			MaxBatch: set.maxBatch,
+			MaxWait:  set.maxWait,
+			// Each closed-loop client has at most one request outstanding,
+			// so QueueCap = clients rules out shedding and keeps the sweep
+			// comparable.
+			QueueCap: clients,
+		}, inputs, perClient)
+		if err != nil {
+			return nil, err
+		}
+		c.Name = set.name
+		rep.Cases = append(rep.Cases, c)
+	}
+
+	sectionHeader(w, "Micro-batched serving under closed-loop load")
+	fmt.Fprintf(w, "clients=%d requests/client=%d replicas=%d\n", clients, perClient, replicas)
+	t := newTable("case", "max batch", "wait ms", "avg batch", "req/s", "p50 ms", "p99 ms")
+	for _, c := range rep.Cases {
+		t.addRowf("%s|%d|%.1f|%.1f|%.0f|%.3f|%.3f",
+			c.Name, c.MaxBatch, c.MaxWaitMs, c.AvgBatch, c.ThroughputRPS, c.P50Ms, c.P99Ms)
+	}
+	t.write(w)
+	return rep, nil
+}
+
+func runServeCase(model *serve.Model, cfg serve.Config, inputs [][]float64, perClient int) (ServeCase, error) {
+	p, err := serve.NewPredictor(model, cfg)
+	if err != nil {
+		return ServeCase{}, err
+	}
+	defer p.Close()
+
+	clients := len(inputs)
+	lats := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lats[i] = make([]time.Duration, 0, perClient)
+			for j := 0; j < perClient; j++ {
+				t0 := time.Now()
+				if _, err := p.Predict(context.Background(), inputs[i]); err != nil {
+					return // surfaces below as a short latency list
+				}
+				lats[i] = append(lats[i], time.Since(t0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) != clients*perClient {
+		return ServeCase{}, fmt.Errorf("bench: %d of %d predicts failed", clients*perClient-len(all), clients*perClient)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	st := p.Stats()
+	c := ServeCase{
+		MaxBatch:      cfg.MaxBatch,
+		MaxWaitMs:     float64(max(cfg.MaxWait, 0)) / float64(time.Millisecond),
+		Requests:      st.Requests,
+		Forwards:      st.Forwards,
+		ThroughputRPS: float64(len(all)) / elapsed.Seconds(),
+		P50Ms:         percentileMs(all, 0.50),
+		P99Ms:         percentileMs(all, 0.99),
+	}
+	if st.Forwards > 0 {
+		c.AvgBatch = float64(st.Requests) / float64(st.Forwards)
+	}
+	return c, nil
+}
+
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// WriteServeJSON writes the report as indented JSON.
+func WriteServeJSON(path string, rep *ServeReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+// cloneTestNet builds a network exercising every layer type the models use,
+// including a residual block with a projection shortcut and dropout.
+func cloneTestNet(rng *tensor.RNG) *Network {
+	body := []Layer{
+		NewConv2D("blk-conv1", 4, 8, 3, 2, 1, 0.1, rng),
+		NewBatchNorm("blk-bn1", 8),
+		NewReLU("blk-relu"),
+		NewConv2D("blk-conv2", 8, 8, 3, 1, 1, 0.1, rng),
+		NewBatchNorm("blk-bn2", 8),
+	}
+	shortcut := []Layer{
+		NewConv2D("blk-sc-conv", 4, 8, 1, 2, 0, 0.1, rng),
+		NewBatchNorm("blk-sc-bn", 8),
+	}
+	return NewNetwork(
+		NewConv2D("conv1", 3, 4, 3, 1, 1, 0.1, rng),
+		NewMaxPool2D("pool1", 2, 2, 0),
+		NewReLU("relu1"),
+		NewLRN("lrn1"),
+		NewResidual("blk", body, shortcut),
+		NewAvgPool2D("pool2", 2, 2, 0),
+		NewDropout("drop", 0.5, rng),
+		NewGlobalAvgPool2D("gap"),
+		NewFlatten("flatten"),
+		NewDense("fc", 8, 5, 0.1, rng),
+	)
+}
+
+func TestCloneArchitectureSharesNothing(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	net := cloneTestNet(rng)
+	clone := net.CloneArchitecture()
+
+	ps, cs := net.Params(), clone.Params()
+	if len(ps) != len(cs) {
+		t.Fatalf("clone has %d param groups, want %d", len(cs), len(ps))
+	}
+	for i := range ps {
+		if ps[i].Name != cs[i].Name {
+			t.Fatalf("group %d name %q != %q", i, cs[i].Name, ps[i].Name)
+		}
+		if len(ps[i].W) != len(cs[i].W) {
+			t.Fatalf("group %q has %d values, want %d", ps[i].Name, len(cs[i].W), len(ps[i].W))
+		}
+		if ps[i].InitStd != cs[i].InitStd || ps[i].Regularize != cs[i].Regularize {
+			t.Fatalf("group %q metadata differs", ps[i].Name)
+		}
+		if &ps[i].W[0] == &cs[i].W[0] || &ps[i].Grad[0] == &cs[i].Grad[0] {
+			t.Fatalf("group %q shares backing storage with the original", ps[i].Name)
+		}
+	}
+
+	// Mutating the original must not leak into the clone.
+	before := append([]float64(nil), cs[0].W...)
+	for i := range ps[0].W {
+		ps[0].W[i] = 42
+	}
+	for i := range before {
+		if cs[0].W[i] != before[i] {
+			t.Fatal("clone weights changed when original was mutated")
+		}
+	}
+}
+
+func TestCloneLoadWeightsBitIdenticalInference(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	net := cloneTestNet(rng)
+
+	// Drift the batch-norm running statistics away from their init values
+	// with a few training forwards, so the test catches blobs that forget
+	// non-Param state.
+	x := tensor.New(4, 3, 8, 8)
+	for pass := 0; pass < 3; pass++ {
+		rng.FillNormal(x.Data, 0, 1)
+		net.Forward(x, true)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	clone := net.CloneArchitecture()
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), clone); err != nil {
+		t.Fatal(err)
+	}
+
+	rng.FillNormal(x.Data, 0, 1)
+	want := net.Forward(x, false).Clone()
+	got := clone.Forward(x, false)
+	if !got.SameShape(want) {
+		t.Fatalf("shape %v != %v", got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("inference output differs at %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestLoadWeightsRejectsMissingStats(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	src := NewNetwork(NewDense("fc", 4, 2, 0.1, rng))
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// A network with batch norm needs running stats the blob doesn't have.
+	dst := NewNetwork(NewDense("fc", 4, 2, 0.1, rng), NewBatchNorm("bn", 1))
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), dst); err == nil {
+		t.Fatal("expected error for missing batch-norm stats")
+	}
+}
+
+type fakeLayer struct{}
+
+func (fakeLayer) Name() string                                    { return "fake" }
+func (fakeLayer) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor { return x }
+func (fakeLayer) Backward(dy *tensor.Tensor) *tensor.Tensor       { return dy }
+func (fakeLayer) Params() []*Param                                { return nil }
+
+func TestCloneArchitectureRejectsUnknownLayer(t *testing.T) {
+	net := NewNetwork(fakeLayer{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown layer type")
+		}
+	}()
+	net.CloneArchitecture()
+}
+
+// Regression: Residual.Forward reuses its output buffer across calls; masked
+// (≤0) positions must be written as zero, not left holding the previous
+// batch's activations.
+func TestResidualMaskedOutputsAreZeroOnReusedBuffer(t *testing.T) {
+	r := NewResidual("blk", nil, nil)
+	x := tensor.New(1, 1, 2, 2)
+	// First pass: all positive, fills yBuf with positives.
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	r.Forward(x, true)
+	// Second pass: all negative; every output must be exactly zero.
+	for i := range x.Data {
+		x.Data[i] = -1
+	}
+	y := r.Forward(x, true)
+	for i, v := range y.Data {
+		if v != 0 {
+			t.Fatalf("masked output %d is %v, want 0 (stale buffer leak)", i, v)
+		}
+	}
+}

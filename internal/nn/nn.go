@@ -69,6 +69,14 @@ type Layer interface {
 }
 
 // Network is an ordered stack of layers.
+//
+// Concurrency contract: a Network is single-goroutine. Every layer reuses
+// per-layer scratch and output buffers across calls (see ensure), so Forward
+// and Backward must never run concurrently on the same Network — not even
+// two Forward calls. Concurrent inference needs one replica per goroutine:
+// build them with CloneArchitecture (replicas share no mutable state) and
+// load each from the same SaveWeights blob. This is the contract the
+// internal/serve replica pool relies on.
 type Network struct {
 	Layers []Layer
 }
@@ -78,7 +86,10 @@ func NewNetwork(layers ...Layer) *Network {
 	return &Network{Layers: layers}
 }
 
-// Forward runs the full stack.
+// Forward runs the full stack. It is NOT safe for concurrent use: layers
+// reuse internal scratch, so concurrent callers must each own a replica
+// (see CloneArchitecture). The returned tensor is owned by the last layer
+// and valid only until the network's next Forward call.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)

@@ -62,6 +62,9 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			y.Data[i] = v
 			r.mask[i] = true
 		} else {
+			// y is a reused buffer; masked positions must be written too,
+			// or they leak the previous batch's activations.
+			y.Data[i] = 0
 			r.mask[i] = false
 		}
 	}

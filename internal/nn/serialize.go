@@ -7,17 +7,30 @@ import (
 )
 
 // weightsFile is the on-wire format of SaveWeights: parameter-group name to
-// flat values.
+// flat values, plus the non-learnable layer state inference needs.
 type weightsFile struct {
 	Groups map[string][]float64
+	// Stats holds layer state that is not a Param but is required to
+	// reproduce inference outputs — the batch-norm running mean/variance,
+	// keyed "<layer>/running_mean" and "<layer>/running_var".
+	Stats map[string][]float64
 }
 
 // SaveWeights serializes every parameter group of the network (weights,
-// biases, batch-norm scales) to w using encoding/gob, keyed by group name.
+// biases, batch-norm scales) plus the batch-norm running statistics to w
+// using encoding/gob, keyed by group name. The blob is the unit the serving
+// checkpoint store versions; LoadWeights into a CloneArchitecture replica
+// reproduces the saved network's inference outputs exactly.
 func SaveWeights(w io.Writer, net *Network) error {
-	f := weightsFile{Groups: map[string][]float64{}}
+	f := weightsFile{Groups: map[string][]float64{}, Stats: map[string][]float64{}}
 	for _, p := range net.Params() {
 		f.Groups[p.Name] = p.W
+	}
+	for _, l := range allLayers(net.Layers) {
+		if b, ok := l.(*BatchNorm); ok {
+			f.Stats[b.name+"/running_mean"] = b.runningMean
+			f.Stats[b.name+"/running_var"] = b.runningVar
+		}
 	}
 	return gob.NewEncoder(w).Encode(f)
 }
@@ -25,7 +38,8 @@ func SaveWeights(w io.Writer, net *Network) error {
 // LoadWeights restores parameters saved by SaveWeights into a network with
 // the same architecture. Every group in the network must be present with a
 // matching length; extra groups in the stream are an error, so silent
-// architecture drift is caught.
+// architecture drift is caught. Batch-norm running statistics are restored
+// the same way.
 func LoadWeights(r io.Reader, net *Network) error {
 	var f weightsFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {
@@ -46,6 +60,32 @@ func LoadWeights(r io.Reader, net *Network) error {
 				p.Name, len(vals), len(p.W))
 		}
 		copy(p.W, vals)
+	}
+	var wantStats int
+	for _, l := range allLayers(net.Layers) {
+		b, ok := l.(*BatchNorm)
+		if !ok {
+			continue
+		}
+		wantStats += 2
+		for name, dst := range map[string][]float64{
+			b.name + "/running_mean": b.runningMean,
+			b.name + "/running_var":  b.runningVar,
+		} {
+			vals, ok := f.Stats[name]
+			if !ok {
+				return fmt.Errorf("nn: weight file missing stats group %q", name)
+			}
+			if len(vals) != len(dst) {
+				return fmt.Errorf("nn: stats group %q has %d values, want %d",
+					name, len(vals), len(dst))
+			}
+			copy(dst, vals)
+		}
+	}
+	if len(f.Stats) != wantStats {
+		return fmt.Errorf("nn: weight file has %d stats groups, network has %d",
+			len(f.Stats), wantStats)
 	}
 	return nil
 }

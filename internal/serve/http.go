@@ -1,0 +1,310 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gmreg/internal/store"
+)
+
+// ServerConfig tunes the HTTP layer and the predictors it creates.
+type ServerConfig struct {
+	// Predictor is applied to every model's predictor.
+	Predictor Config
+	// MaxInflight bounds concurrently handled /predict requests; beyond it
+	// the load-shedding middleware answers 503 immediately. Defaults to
+	// 4×QueueCap.
+	MaxInflight int
+	// RequestTimeout bounds one /predict end to end (queue wait included).
+	// Defaults to 5s.
+	RequestTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	c.Predictor = c.Predictor.withDefaults()
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * c.Predictor.QueueCap
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server exposes a registry of predictors over an HTTP JSON API:
+//
+//	POST /predict  {"model": "...", "features": [...]}
+//	GET  /models
+//	POST /swap     {"model": "...", "seq": N}   (seq 0 = follow latest)
+//	GET  /healthz
+//
+// It subscribes to registry swaps, creating or hot-swapping a predictor per
+// model key.
+type Server struct {
+	reg   *Registry
+	cfg   ServerConfig
+	sem   chan struct{} // load-shedding middleware tokens
+	start time.Time
+
+	mu    sync.RWMutex
+	preds map[string]*Predictor
+	perr  map[string]string // key → last predictor build/swap error
+}
+
+// NewServer wires a server to reg. Call reg.Refresh (or start a watcher)
+// after this so existing models are announced.
+func NewServer(reg *Registry, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		reg:   reg,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		start: time.Now(),
+		preds: map[string]*Predictor{},
+		perr:  map[string]string{},
+	}
+	reg.OnSwap(s.onSwap)
+	return s
+}
+
+// onSwap is the registry callback: build a predictor for a new key, or swap
+// the replica pool of an existing one. Runs with the registry lock held.
+func (s *Server) onSwap(m *Model) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.preds[m.Key]; ok {
+		if err := p.Swap(m); err != nil {
+			s.perr[m.Key] = err.Error()
+			return
+		}
+	} else {
+		p, err := NewPredictor(m, s.cfg.Predictor)
+		if err != nil {
+			s.perr[m.Key] = err.Error()
+			return
+		}
+		s.preds[m.Key] = p
+	}
+	delete(s.perr, m.Key)
+}
+
+// predictor resolves a model name; an empty name is allowed when exactly one
+// model is served.
+func (s *Server) predictor(name string) (*Predictor, string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.preds) == 1 {
+			for k, p := range s.preds {
+				return p, k, nil
+			}
+		}
+		return nil, "", fmt.Errorf("model name required (%d models served)", len(s.preds))
+	}
+	p, ok := s.preds[name]
+	if !ok {
+		return nil, "", fmt.Errorf("unknown model %q", name)
+	}
+	return p, name, nil
+}
+
+// Close drains every predictor.
+func (s *Server) Close() {
+	s.mu.Lock()
+	preds := make([]*Predictor, 0, len(s.preds))
+	for _, p := range s.preds {
+		preds = append(preds, p)
+	}
+	s.mu.Unlock()
+	for _, p := range preds {
+		p.Close()
+	}
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /predict", s.shed(http.HandlerFunc(s.handlePredict)))
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("POST /swap", s.handleSwap)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// shed is the load-shedding middleware: if MaxInflight requests are already
+// being handled, answer 503 without reading the body.
+func (s *Server) shed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "server overloaded")
+		}
+	})
+}
+
+type versionJSON struct {
+	Seq  int    `json:"seq"`
+	Hash string `json:"hash"`
+}
+
+func toVersionJSON(v store.Version) versionJSON {
+	return versionJSON{Seq: v.Seq, Hash: v.Hash}
+}
+
+type predictRequest struct {
+	Model    string    `json:"model"`
+	Features []float64 `json:"features"`
+}
+
+type predictResponse struct {
+	Model   string      `json:"model"`
+	Label   int         `json:"label"`
+	Probs   []float64   `json:"probs"`
+	Version versionJSON `json:"version"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	p, name, err := s.predictor(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := p.Predict(ctx, req.Features)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "prediction timed out")
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Model:   name,
+		Label:   res.Label,
+		Probs:   res.Probs,
+		Version: toVersionJSON(res.Version),
+	})
+}
+
+type modelJSON struct {
+	Model    string        `json:"model"`
+	Family   string        `json:"family,omitempty"`
+	Serving  *versionJSON  `json:"serving,omitempty"`
+	Pinned   bool          `json:"pinned"`
+	Versions []versionJSON `json:"versions"`
+	Requests int64         `json:"requests"`
+	Forwards int64         `json:"forwards"`
+	Shed     int64         `json:"shed"`
+	Err      string        `json:"error,omitempty"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	statuses := s.reg.List()
+	out := make([]modelJSON, 0, len(statuses))
+	s.mu.RLock()
+	for _, st := range statuses {
+		m := modelJSON{
+			Model:    st.Key,
+			Family:   st.Family,
+			Pinned:   st.Pinned,
+			Versions: make([]versionJSON, 0, len(st.Versions)),
+			Err:      st.Err,
+		}
+		for _, v := range st.Versions {
+			m.Versions = append(m.Versions, toVersionJSON(v))
+		}
+		if p, ok := s.preds[st.Key]; ok {
+			v := toVersionJSON(p.Version())
+			m.Serving = &v
+			ps := p.Stats()
+			m.Requests, m.Forwards, m.Shed = ps.Requests, ps.Forwards, ps.Shed
+		}
+		if perr, ok := s.perr[st.Key]; ok && m.Err == "" {
+			m.Err = perr
+		}
+		out = append(out, m)
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+type swapRequest struct {
+	Model string `json:"model"`
+	Seq   int    `json:"seq"`
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req swapRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Model == "" {
+		// Resolve the single-model default so `{"seq": 1}` works too.
+		if _, name, err := s.predictor(""); err == nil {
+			req.Model = name
+		} else {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	m, err := s.reg.Pin(req.Model, req.Seq)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	// The swap callback may have failed (e.g. architecture change); surface
+	// that instead of claiming success.
+	s.mu.RLock()
+	perr := s.perr[req.Model]
+	s.mu.RUnlock()
+	if perr != "" {
+		writeError(w, http.StatusConflict, perr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":   m.Key,
+		"serving": toVersionJSON(m.Version),
+		"pinned":  req.Seq != 0,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.preds)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"models":    n,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

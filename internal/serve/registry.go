@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gmreg/internal/store"
+)
+
+// Model is one immutable, decoded checkpoint version ready to serve.
+type Model struct {
+	Key     string
+	Version store.Version
+	Ckpt    *Checkpoint
+}
+
+// Registry resolves store keys to serving models. For each key it follows
+// the latest store version — or a pinned one — decoding checkpoints and
+// announcing changes through the OnSwap callback, which the HTTP server uses
+// to hot-swap predictor replica pools without dropping in-flight requests.
+// Pinning an older sequence number is instant rollback; pinning 0 resumes
+// following the latest.
+//
+// All methods are safe for concurrent use. Swap callbacks are serialized and
+// delivered in resolution order.
+type Registry struct {
+	mu      sync.Mutex
+	st      *store.Store
+	pins    map[string]int    // key → pinned seq (absent = follow latest)
+	current map[string]*Model // key → model being served
+	errs    map[string]string // key → last load error (non-checkpoint blob, …)
+	onSwap  func(*Model)
+}
+
+// NewRegistry builds a registry over st. Call OnSwap before the first
+// Refresh so no swap announcement is missed.
+func NewRegistry(st *store.Store) *Registry {
+	return &Registry{
+		st:      st,
+		pins:    map[string]int{},
+		current: map[string]*Model{},
+		errs:    map[string]string{},
+	}
+}
+
+// OnSwap registers the callback invoked whenever a key's serving model
+// changes (first load, new version, pin, rollback). The callback runs with
+// the registry lock held, so swaps are totally ordered; it must not call
+// back into the registry.
+func (r *Registry) OnSwap(fn func(*Model)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onSwap = fn
+}
+
+// Refresh scans every store key and swaps in any version changes. Keys whose
+// blobs are not valid checkpoints are recorded (see List) and skipped.
+func (r *Registry) Refresh() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, key := range r.st.Keys() {
+		r.refreshKeyLocked(key)
+	}
+}
+
+// refreshKeyLocked resolves one key against pins/latest and swaps if the
+// target differs from what is currently served.
+func (r *Registry) refreshKeyLocked(key string) (*Model, error) {
+	var (
+		b   []byte
+		v   store.Version
+		err error
+	)
+	if seq, ok := r.pins[key]; ok {
+		b, v, err = r.st.GetVersion(key, seq)
+	} else {
+		b, v, err = r.st.Get(key)
+	}
+	if err != nil {
+		r.errs[key] = err.Error()
+		return nil, err
+	}
+	if cur := r.current[key]; cur != nil && cur.Version == v {
+		delete(r.errs, key)
+		return cur, nil
+	}
+	ckpt, err := UnmarshalCheckpoint(b)
+	if err != nil {
+		r.errs[key] = err.Error()
+		return nil, err
+	}
+	m := &Model{Key: key, Version: v, Ckpt: ckpt}
+	r.current[key] = m
+	delete(r.errs, key)
+	if r.onSwap != nil {
+		r.onSwap(m)
+	}
+	return m, nil
+}
+
+// Pin pins key to the given 1-based version sequence and swaps immediately;
+// seq 0 unpins, resuming the latest version. It returns the model now being
+// served.
+func (r *Registry) Pin(key string, seq int) (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq < 0 {
+		return nil, fmt.Errorf("serve: negative version %d", seq)
+	}
+	if seq == 0 {
+		delete(r.pins, key)
+	} else {
+		// Validate before committing the pin so a bad seq leaves the
+		// current pin state untouched.
+		if _, _, err := r.st.GetVersion(key, seq); err != nil {
+			return nil, err
+		}
+		r.pins[key] = seq
+	}
+	return r.refreshKeyLocked(key)
+}
+
+// Current returns the model being served for key, if any.
+func (r *Registry) Current(key string) (*Model, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.current[key]
+	return m, ok
+}
+
+// Keys returns the keys currently being served, sorted.
+func (r *Registry) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]string, 0, len(r.current))
+	for k := range r.current {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ModelStatus is one row of List: what a key serves and what it could serve.
+type ModelStatus struct {
+	Key      string
+	Serving  store.Version
+	Pinned   bool
+	Family   string
+	Versions []store.Version
+	Err      string
+}
+
+// List reports the status of every store key, including ones that failed to
+// load.
+func (r *Registry) List() []ModelStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ModelStatus
+	for _, key := range r.st.Keys() {
+		st := ModelStatus{Key: key, Err: r.errs[key]}
+		_, st.Pinned = r.pins[key]
+		if m := r.current[key]; m != nil {
+			st.Serving = m.Version
+			st.Family = m.Ckpt.Spec.Family
+		}
+		st.Versions, _ = r.st.History(key)
+		out = append(out, st)
+	}
+	return out
+}
+
+// ReplaceStore swaps the backing store (a freshly loaded snapshot file) and
+// refreshes every key against it. Pins carry over.
+func (r *Registry) ReplaceStore(st *store.Store) {
+	r.mu.Lock()
+	r.st = st
+	keys := st.Keys()
+	for _, key := range keys {
+		r.refreshKeyLocked(key)
+	}
+	r.mu.Unlock()
+}
+
+// WatchFile polls the snapshot file at path and reloads the store whenever
+// its mtime or size changes, until ctx is cancelled. This is how a running
+// gmreg-serve picks up checkpoints written by a later `gmreg-train -save`.
+// Load errors (partial copies, foreign files) are counted and skipped; the
+// previous store keeps serving.
+func (r *Registry) WatchFile(ctx context.Context, path string, interval time.Duration) {
+	// lastMod starts zero so a snapshot already on disk is loaded on the
+	// first tick.
+	var lastMod time.Time
+	var lastSize int64
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fi, err := os.Stat(path)
+			if err != nil || (fi.ModTime() == lastMod && fi.Size() == lastSize) {
+				continue
+			}
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+			st, err := store.LoadFile(path)
+			if err != nil {
+				continue // half-written or foreign file; retry next tick
+			}
+			r.ReplaceStore(st)
+		}
+	}
+}

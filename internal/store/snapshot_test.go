@@ -1,0 +1,123 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New()
+	v1, _ := s.Put("model", []byte("weights-v1"))
+	s.Put("model", []byte("weights-v2"))
+	s.Put("data", []byte("weights-v1")) // dedup across keys
+	if err := s.Fork("model", "model-fork"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys, versions, blobs := got.Stats()
+	wk, wv, wb := s.Stats()
+	if keys != wk || versions != wv || blobs != wb {
+		t.Fatalf("stats %d/%d/%d, want %d/%d/%d", keys, versions, blobs, wk, wv, wb)
+	}
+	b, v, err := got.GetVersion("model", 1)
+	if err != nil || string(b) != "weights-v1" || v.Hash != v1.Hash {
+		t.Fatalf("GetVersion after round trip: %q %+v %v", b, v, err)
+	}
+	b, _, err = got.Get("model-fork")
+	if err != nil || string(b) != "weights-v2" {
+		t.Fatalf("fork after round trip: %q %v", b, err)
+	}
+	// The restored store must accept new writes.
+	if _, err := got.Put("model", []byte("weights-v3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSnapshotRejectsCorruption(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("payload"))
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte somewhere in the payload region; either gob decoding or
+	// the content-hash check must catch it.
+	raw := buf.Bytes()
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-3] ^= 0xff
+	if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("expected error for corrupted snapshot")
+	}
+
+	// Truncation must also fail.
+	if _, err := ReadSnapshot(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("expected error for truncated snapshot")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.store")
+
+	s := New()
+	s.Put("model", []byte("v1"))
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, v, err := got.Get("model")
+	if err != nil || string(b) != "v1" || v.Seq != 1 {
+		t.Fatalf("Get after LoadFile: %q %+v %v", b, v, err)
+	}
+
+	// Appending a version and re-saving must replace the file atomically.
+	got.Put("model", []byte("v2"))
+	if err := SaveFile(path, got); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist, _ := again.History("model"); len(hist) != 2 {
+		t.Fatalf("history length %d, want 2", len(hist))
+	}
+	// No temp litter left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadOrNew(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "absent.store")
+	s, err := LoadOrNew(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys, _, _ := s.Stats(); keys != 0 {
+		t.Fatalf("expected empty store, got %d keys", keys)
+	}
+	// A present-but-garbage file must error, not silently reset.
+	bad := filepath.Join(dir, "bad.store")
+	os.WriteFile(bad, []byte("not a snapshot"), 0o644)
+	if _, err := LoadOrNew(bad); err == nil {
+		t.Fatal("expected error for malformed store file")
+	}
+}
