@@ -7,13 +7,19 @@
 //	gmreg-bench -exp all
 //
 // Experiments: table4, table5, table6, table7, table8, fig3, fig4, fig5,
-// fig6, fig7, hotpath, serve, all. Scales: small (minutes) and full (hours on
-// CPU; matches the paper's budgets where feasible). See EXPERIMENTS.md for
-// the recorded paper-vs-measured comparison. The hotpath experiment
-// benchmarks the allocating kernels against the pooled zero-allocation hot
-// path and writes BENCH_hotpath.json; the serve experiment sweeps the
-// micro-batching predictor's batch-window settings under concurrent load and
-// writes BENCH_serve.json.
+// fig6, fig7, hotpath, serve, dataparallel, all. Scales: small (minutes) and
+// full (hours on CPU; matches the paper's budgets where feasible). See
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison. The hotpath
+// experiment benchmarks the allocating kernels against the pooled
+// zero-allocation hot path and writes BENCH_hotpath.json; the serve
+// experiment sweeps the micro-batching predictor's batch-window settings
+// under concurrent load and writes BENCH_serve.json; the dataparallel
+// experiment sweeps dist.Network replica counts × prefetch and writes
+// BENCH_dataparallel.json.
+//
+// The harness runs on all cores by default; -procs pins both GOMAXPROCS and
+// the kernel partition grain, and every BENCH_*.json records the effective
+// GOMAXPROCS it was measured with.
 package main
 
 import (
@@ -21,22 +27,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"gmreg/internal/bench"
+	"gmreg/internal/tensor"
 	"gmreg/internal/viz"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|ablations|all")
+		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|dataparallel|ablations|all")
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		svgDir   = flag.String("svg", "", "directory to write SVG renderings of fig3/fig5/fig6/fig7 (optional)")
+		procs    = flag.Int("procs", runtime.NumCPU(), "GOMAXPROCS (and kernel partition grain) for the run; default all cores")
 	)
 	flag.Parse()
+
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+		// Pin the partition grain with it so chunked-kernel numerics are a
+		// function of the requested width, not of where the binary runs.
+		tensor.SetPartitionGrain(*procs)
+	}
 
 	var s bench.Scale
 	switch *scale {

@@ -6,6 +6,7 @@
 //	gmreg-train -dataset horse-colic -reg gm
 //	gmreg-train -dataset hosp-fa -reg l2 -beta 1
 //	gmreg-train -dataset cifar -model alex -reg gm -epochs 6
+//	gmreg-train -dataset cifar -model alex -workers 4 -prefetch
 //	gmreg-train -csv mydata.csv -label outcome -reg gm
 //	gmreg-train -dataset horse-colic -save horse-colic -store ckpt.store
 //
@@ -14,6 +15,12 @@
 // binary-classification table (numeric features, 0/1 label column, missing
 // cells as empty/?/NA). With -reg gm the learned per-layer mixtures are
 // printed after training.
+//
+// -workers N (CIFAR only) trains data-parallel via dist.Network: each
+// minibatch is sharded across N model replicas running concurrently, with a
+// deterministic gradient reduction (see DESIGN.md §8). -shard pins the
+// micro-shard size so results are bit-identical across worker counts;
+// -prefetch overlaps batch assembly with compute.
 //
 // -save KEY appends the trained model (weights, batch-norm statistics, and
 // the learned GM snapshot) as a new version of KEY in the checkpoint store
@@ -31,6 +38,7 @@ import (
 	"gmreg"
 	"gmreg/internal/core"
 	"gmreg/internal/data"
+	"gmreg/internal/dist"
 	"gmreg/internal/models"
 	"gmreg/internal/nn"
 	"gmreg/internal/serve"
@@ -41,23 +49,26 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "horse-colic", "dataset: a UCI name, hosp-fa, or cifar")
-		csvPath = flag.String("csv", "", "train on your own CSV instead of a synthetic dataset")
-		label   = flag.String("label", "", "label column for -csv (default: last column)")
-		model   = flag.String("model", "alex", "CNN for -dataset cifar: alex|resnet")
-		regName = flag.String("reg", "gm", "regularizer: gm|l1|l2|elastic|huber|none")
-		beta    = flag.Float64("beta", 1, "strength for the fixed baselines")
-		gamma   = flag.Float64("gamma", 0.001, "GM γ (b = γ·M)")
-		epochs  = flag.Int("epochs", 40, "training epochs")
-		lr      = flag.Float64("lr", 0.5, "learning rate (use ~0.01 for CNNs)")
-		batch   = flag.Int("batch", 32, "minibatch size")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		trainN  = flag.Int("cifar-train", 500, "synthetic CIFAR training samples")
-		testN   = flag.Int("cifar-test", 200, "synthetic CIFAR test samples")
-		size    = flag.Int("cifar-size", 16, "synthetic CIFAR image size (32 = paper geometry)")
-		saveGM  = flag.String("save-gm", "", "write the learned GM snapshot JSON here (tabular + -reg gm only; inspect with gmreg-inspect)")
-		save    = flag.String("save", "", "append the trained model as a new checkpoint version under this store key")
-		stPath  = flag.String("store", "gmreg.store", "checkpoint store file for -save (created if missing)")
+		dataset  = flag.String("dataset", "horse-colic", "dataset: a UCI name, hosp-fa, or cifar")
+		csvPath  = flag.String("csv", "", "train on your own CSV instead of a synthetic dataset")
+		label    = flag.String("label", "", "label column for -csv (default: last column)")
+		model    = flag.String("model", "alex", "CNN for -dataset cifar: alex|resnet")
+		regName  = flag.String("reg", "gm", "regularizer: gm|l1|l2|elastic|huber|none")
+		beta     = flag.Float64("beta", 1, "strength for the fixed baselines")
+		gamma    = flag.Float64("gamma", 0.001, "GM γ (b = γ·M)")
+		epochs   = flag.Int("epochs", 40, "training epochs")
+		lr       = flag.Float64("lr", 0.5, "learning rate (use ~0.01 for CNNs)")
+		batch    = flag.Int("batch", 32, "minibatch size")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		trainN   = flag.Int("cifar-train", 500, "synthetic CIFAR training samples")
+		testN    = flag.Int("cifar-test", 200, "synthetic CIFAR test samples")
+		size     = flag.Int("cifar-size", 16, "synthetic CIFAR image size (32 = paper geometry)")
+		saveGM   = flag.String("save-gm", "", "write the learned GM snapshot JSON here (tabular + -reg gm only; inspect with gmreg-inspect)")
+		save     = flag.String("save", "", "append the trained model as a new checkpoint version under this store key")
+		stPath   = flag.String("store", "gmreg.store", "checkpoint store file for -save (created if missing)")
+		workers  = flag.Int("workers", 1, "model replicas for data-parallel CIFAR training (1 = sequential)")
+		shard    = flag.Int("shard", 0, "micro-shard size for CIFAR minibatches (0 = whole batch, or batch/workers when -workers > 1); pin it for bit-identical results across worker counts")
+		prefetch = flag.Bool("prefetch", false, "assemble CIFAR minibatches one step ahead on a background goroutine")
 	)
 	flag.Parse()
 	gmSnapshotPath = *saveGM
@@ -72,7 +83,9 @@ func main() {
 		Momentum:     0.9,
 		Epochs:       *epochs,
 		BatchSize:    *batch,
+		ShardSize:    *shard,
 		Seed:         *seed,
+		Prefetch:     *prefetch,
 	}
 	if *csvPath != "" {
 		if err := runCSV(*csvPath, *label, cfg, factory, *seed); err != nil {
@@ -81,7 +94,7 @@ func main() {
 		return
 	}
 	if *dataset == "cifar" {
-		if err := runCIFAR(*model, cfg, factory, *trainN, *testN, *size, *seed); err != nil {
+		if err := runCIFAR(*model, cfg, factory, *trainN, *testN, *size, *seed, *workers); err != nil {
 			fatal(err)
 		}
 		return
@@ -189,7 +202,7 @@ func trainAndReport(task *data.Task, cfg train.SGDConfig, factory gmreg.Factory,
 // gmSnapshotPath is the -save-gm destination ("" = disabled).
 var gmSnapshotPath string
 
-func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, testN, size int, seed uint64) error {
+func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, testN, size int, seed uint64, workers int) error {
 	spec := data.DefaultCIFAR(trainN, testN)
 	spec.Size = size
 	trainSet, testSet := data.GenerateCIFAR(spec, seed)
@@ -200,7 +213,14 @@ func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, 
 		cfg.Augment = true
 	}
 	fmt.Printf("model %s: %d regularized parameters\n", model, net.NumParams(true))
-	res, err := train.Network(net, trainSet, cfg, factory)
+	var res *train.NetworkResult
+	var err error
+	if workers > 1 {
+		fmt.Printf("data-parallel: %d replicas\n", workers)
+		res, err = dist.Network(net, trainSet, dist.NetConfig{Replicas: workers, Prefetch: cfg.Prefetch, SGD: cfg}, factory)
+	} else {
+		res, err = train.Network(net, trainSet, cfg, factory)
+	}
 	if err != nil {
 		return err
 	}

@@ -103,6 +103,17 @@ var registry = map[string]runner{
 		fmt.Fprintln(w, "wrote", ServeJSONPath)
 		return nil
 	},
+	"dataparallel": func(w io.Writer, s Scale, _ Options) error {
+		rep, err := RunDataParallel(w, s)
+		if err != nil {
+			return err
+		}
+		if err := WriteDataParallelJSON(DataParallelJSONPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", DataParallelJSONPath)
+		return nil
+	},
 }
 
 // ExperimentIDs returns all registered experiment ids, sorted.

@@ -27,8 +27,16 @@ func (s *ImageSet) Image(i int) []float64 {
 // matching label slice.
 func (s *ImageSet) Batch(idx []int) (*tensor.Tensor, []int) {
 	sz := s.C * s.H * s.W
-	x := tensor.New(len(idx), s.C, s.H, s.W)
-	y := make([]int, len(idx))
+	return s.BatchInto(make([]float64, len(idx)*sz), make([]int, len(idx)), idx)
+}
+
+// BatchInto gathers idx into caller-owned buffers (len(idx)*C*H*W floats,
+// len(idx) labels) and returns a tensor view over xbuf. The pipeline's
+// recycled batch slots use it to gather without allocating.
+func (s *ImageSet) BatchInto(xbuf []float64, ybuf []int, idx []int) (*tensor.Tensor, []int) {
+	sz := s.C * s.H * s.W
+	x := tensor.FromSlice(xbuf[:len(idx)*sz], len(idx), s.C, s.H, s.W)
+	y := ybuf[:len(idx)]
 	for bi, i := range idx {
 		copy(x.Data[bi*sz:(bi+1)*sz], s.Image(i))
 		y[bi] = s.Y[i]
@@ -190,8 +198,15 @@ func Augment(dst, src []float64, c, h, w int, rng *tensor.RNG) {
 // every image.
 func (s *ImageSet) AugmentBatch(idx []int, rng *tensor.RNG) (*tensor.Tensor, []int) {
 	sz := s.C * s.H * s.W
-	x := tensor.New(len(idx), s.C, s.H, s.W)
-	y := make([]int, len(idx))
+	return s.AugmentBatchInto(make([]float64, len(idx)*sz), make([]int, len(idx)), idx, rng)
+}
+
+// AugmentBatchInto is BatchInto with Augment applied to every image; it
+// consumes the same three rng draws per image as AugmentBatch.
+func (s *ImageSet) AugmentBatchInto(xbuf []float64, ybuf []int, idx []int, rng *tensor.RNG) (*tensor.Tensor, []int) {
+	sz := s.C * s.H * s.W
+	x := tensor.FromSlice(xbuf[:len(idx)*sz], len(idx), s.C, s.H, s.W)
+	y := ybuf[:len(idx)]
 	for bi, i := range idx {
 		Augment(x.Data[bi*sz:(bi+1)*sz], s.Image(i), s.C, s.H, s.W, rng)
 		y[bi] = s.Y[i]

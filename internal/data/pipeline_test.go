@@ -1,0 +1,122 @@
+package data
+
+import (
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+func pipelineSet(t *testing.T) *ImageSet {
+	t.Helper()
+	spec := DefaultCIFAR(50, 10)
+	spec.Size = 8
+	spec.Classes = 4
+	train, _ := GenerateCIFAR(spec, 5)
+	return train
+}
+
+// drain collects deep copies of every batch a source produces.
+func drain(t *testing.T, b Batches) (xs [][]float64, ys [][]int) {
+	t.Helper()
+	defer b.Close()
+	for {
+		x, y := b.Next()
+		if x == nil {
+			return
+		}
+		xs = append(xs, append([]float64(nil), x.Data...))
+		ys = append(ys, append([]int(nil), y...))
+	}
+}
+
+// TestStreamMatchesLegacyAssembly pins the stream to the exact batch
+// sequence the train.Network loop used to assemble inline: one shuffle per
+// epoch, then Batch/AugmentBatch over contiguous row windows, all off one
+// seeded RNG.
+func TestStreamMatchesLegacyAssembly(t *testing.T) {
+	set := pipelineSet(t)
+	for _, augment := range []bool{false, true} {
+		cfg := StreamConfig{Batch: 16, Epochs: 3, Seed: 11, Augment: augment}
+		xs, ys := drain(t, NewBatches(set, cfg))
+
+		rng := tensor.NewRNG(cfg.Seed)
+		rows := make([]int, set.N)
+		for i := range rows {
+			rows[i] = i
+		}
+		nBatches := (set.N + cfg.Batch - 1) / cfg.Batch
+		var k int
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			rng.ShuffleInts(rows)
+			for b := 0; b < nBatches; b++ {
+				lo, hi := b*cfg.Batch, (b+1)*cfg.Batch
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				var x *tensor.Tensor
+				var y []int
+				if augment {
+					x, y = set.AugmentBatch(rows[lo:hi], rng)
+				} else {
+					x, y = set.Batch(rows[lo:hi])
+				}
+				if k >= len(xs) {
+					t.Fatalf("augment=%v: stream ended after %d batches, want %d", augment, len(xs), cfg.Epochs*nBatches)
+				}
+				for i := range x.Data {
+					if xs[k][i] != x.Data[i] {
+						t.Fatalf("augment=%v: batch %d pixel %d = %v, want %v", augment, k, i, xs[k][i], x.Data[i])
+					}
+				}
+				for i := range y {
+					if ys[k][i] != y[i] {
+						t.Fatalf("augment=%v: batch %d label %d = %d, want %d", augment, k, i, ys[k][i], y[i])
+					}
+				}
+				k++
+			}
+		}
+		if k != len(xs) {
+			t.Fatalf("augment=%v: stream produced %d batches, want %d", augment, len(xs), k)
+		}
+	}
+}
+
+// TestPrefetchBitIdentical asserts the background producer yields exactly
+// the inline sequence, including augmentation draws, for the same seed.
+func TestPrefetchBitIdentical(t *testing.T) {
+	set := pipelineSet(t)
+	for _, augment := range []bool{false, true} {
+		cfg := StreamConfig{Batch: 12, Epochs: 4, Seed: 23, Augment: augment}
+		inlineXs, inlineYs := drain(t, NewBatches(set, cfg))
+		cfg.Prefetch = true
+		preXs, preYs := drain(t, NewBatches(set, cfg))
+		if len(preXs) != len(inlineXs) {
+			t.Fatalf("augment=%v: prefetch produced %d batches, inline %d", augment, len(preXs), len(inlineXs))
+		}
+		for k := range inlineXs {
+			for i := range inlineXs[k] {
+				if preXs[k][i] != inlineXs[k][i] {
+					t.Fatalf("augment=%v: batch %d pixel %d differs", augment, k, i)
+				}
+			}
+			for i := range inlineYs[k] {
+				if preYs[k][i] != inlineYs[k][i] {
+					t.Fatalf("augment=%v: batch %d label %d differs", augment, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetcherEarlyClose exercises Close with batches still in flight
+// (the early-stopping path); it must not deadlock or leak the producer.
+func TestPrefetcherEarlyClose(t *testing.T) {
+	set := pipelineSet(t)
+	b := NewBatches(set, StreamConfig{Batch: 8, Epochs: 100, Seed: 3, Prefetch: true})
+	if x, _ := b.Next(); x == nil {
+		t.Fatal("first batch missing")
+	}
+	b.Close()
+	b.Close() // idempotent
+}

@@ -106,7 +106,7 @@ func LogReg(task *data.Task, trainRows []int, cfg Config, factory reg.Factory) (
 
 	start := time.Now()
 	for epoch := 0; epoch < cfg.SGD.Epochs; epoch++ {
-		shuffleRows(rows, rng)
+		rng.ShuffleInts(rows)
 		var epochLoss float64
 		for b := 0; b < nBatches; b++ {
 			lo, hi := b*batch, (b+1)*batch
@@ -114,23 +114,20 @@ func LogReg(task *data.Task, trainRows []int, cfg Config, factory reg.Factory) (
 				hi = len(rows)
 			}
 			global := rows[lo:hi]
-			// Scatter: split the global batch across workers.
+			// Scatter: split the global batch across workers. Empty shards
+			// (a ragged final batch on many workers) contribute nothing to
+			// the gather, so they don't get a goroutine.
 			var wg sync.WaitGroup
 			for w := 0; w < cfg.Workers; w++ {
 				shard := global[w*len(global)/cfg.Workers : (w+1)*len(global)/cfg.Workers]
+				results[w].n = len(shard)
+				if len(shard) == 0 {
+					continue
+				}
 				wg.Add(1)
 				go func(w int, shard []int) {
 					defer wg.Done()
 					res := &results[w]
-					res.n = len(shard)
-					if len(shard) == 0 {
-						res.loss = 0
-						for i := range res.gw {
-							res.gw[i] = 0
-						}
-						res.gb = 0
-						return
-					}
 					res.loss, res.gb = model.LossGrad(task.X, task.Y, shard, res.gw)
 				}(w, shard)
 			}
@@ -171,11 +168,4 @@ func LogReg(task *data.Task, trainRows []int, cfg Config, factory reg.Factory) (
 		hist.EpochTime = append(hist.EpochTime, time.Since(start))
 	}
 	return &Result{Model: model, Regularizer: r, History: hist}, nil
-}
-
-func shuffleRows(rows []int, rng *tensor.RNG) {
-	for i := len(rows) - 1; i > 0; i-- {
-		j := rng.Intn(i + 1)
-		rows[i], rows[j] = rows[j], rows[i]
-	}
 }

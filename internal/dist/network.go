@@ -1,0 +1,219 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"gmreg/internal/data"
+	"gmreg/internal/nn"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+	"gmreg/internal/train"
+)
+
+// NetConfig configures data-parallel network training.
+type NetConfig struct {
+	// Replicas is the number of model replicas sharing each global
+	// minibatch (≥ 1).
+	Replicas int
+	// Prefetch assembles the next global minibatch on a background
+	// goroutine while the replicas compute (see data.StreamConfig).
+	Prefetch bool
+	// SGD is the optimizer configuration. SGD.ShardSize sets the canonical
+	// micro-shard partition every global batch is split into; replica r
+	// processes shards r, r+Replicas, r+2·Replicas, … . When 0 it defaults
+	// to ceil(BatchSize/Replicas) — one shard per replica, the fastest
+	// setting, but then the partition (and so the exact floating-point
+	// fold) depends on Replicas. Pin ShardSize explicitly to make runs
+	// bit-identical across replica counts and equal to the sequential
+	// train.Network with the same ShardSize. SGD.Prefetch is ignored here
+	// (use NetConfig.Prefetch).
+	SGD train.SGDConfig
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c NetConfig) Validate() error {
+	if c.Replicas < 1 {
+		return fmt.Errorf("dist: need at least 1 replica, got %d", c.Replicas)
+	}
+	if c.SGD.BarzilaiBorwein {
+		return fmt.Errorf("dist: Barzilai–Borwein steps are not supported distributed")
+	}
+	return c.SGD.Validate()
+}
+
+// replicaPool schedules replica bodies as jobs on the shared worker pool,
+// so R replicas never add goroutines beyond the pool's fixed worker set
+// (the budget that keeps total concurrency ≤ GOMAXPROCS even with nested
+// kernel parallelism). Package-level so tests can substitute a wider pool
+// to force real replica concurrency on small machines.
+var replicaPool = tensor.Pool()
+
+// replica is one data-parallel worker: an architectural clone of the
+// authoritative network plus positional handles to its parameter groups
+// and batch-norm layers for broadcast.
+type replica struct {
+	net    *nn.Network
+	params []*nn.Param
+	bns    []*nn.BatchNorm
+}
+
+// Network trains a convolutional network with synchronous data-parallel
+// SGD, standing in for the paper's SINGA stack: the authoritative copy
+// lives on the "server" (the calling goroutine); each global step the
+// replicas run forward/backward over their micro-shards concurrently, the
+// server folds the per-shard gradients in ascending shard order into the
+// authoritative gradient, applies the per-layer GM regularizers and the
+// momentum update exactly once (train.Optimizer — the same code path the
+// sequential trainer uses), and broadcasts weights and averaged batch-norm
+// running statistics back to every replica.
+//
+// Because the shard partition is fixed by SGD.ShardSize (not by Replicas),
+// per-shard gradients live in per-shard buffers, kernel chunk partitions
+// are pure functions of their input sizes, and the fold order is
+// canonical, training is bit-identical to train.Network for architectures
+// without batch norm, for every replica count, with prefetch on or off.
+// Batch-norm networks normalize per shard (ghost batch norm): still fully
+// deterministic, and the learned weights match the sequential trainer at
+// equal ShardSize — only the running statistics differ (replica-averaged
+// here versus one sequential EMA), see DESIGN.md §8. Networks with
+// dropout train deterministically but are not replica-count-invariant
+// (each replica owns an independent dropout stream).
+//
+// The result's Net is the authoritative network (the one passed in).
+func Network(net *nn.Network, trainSet *data.ImageSet, cfg NetConfig, factory reg.Factory) (*train.NetworkResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trainSet.N == 0 {
+		return nil, fmt.Errorf("dist: empty training set")
+	}
+	R := cfg.Replicas
+	batch := cfg.SGD.BatchSize
+	if batch > trainSet.N {
+		batch = trainSet.N
+	}
+	nBatches := (trainSet.N + batch - 1) / batch
+	ss := cfg.SGD.ShardSize
+	if ss <= 0 {
+		ss = (batch + R - 1) / R
+	}
+	if ss > batch {
+		ss = batch
+	}
+	maxShards := (batch + ss - 1) / ss
+
+	opt := train.NewOptimizer(net.Params(), factory, nBatches, 1/float64(trainSet.N))
+	authParams := opt.Params
+	authBNs := net.BatchNorms()
+	bank := train.NewGradBank(authParams, maxShards)
+	losses := make([]float64, maxShards)
+
+	reps := make([]*replica, R)
+	for r := range reps {
+		c := net.CloneArchitecture()
+		reps[r] = &replica{net: c, params: c.Params(), bns: c.BatchNorms()}
+	}
+
+	// broadcast pushes the authoritative weights and batch-norm running
+	// statistics to every replica; replicas only ever read them inside a
+	// global step, after the Each barrier of the previous one.
+	broadcast := func() {
+		for _, rep := range reps {
+			for i, p := range authParams {
+				copy(rep.params[i].W, p.W)
+			}
+			for i, b := range authBNs {
+				am, av := b.Stats()
+				rm, rv := rep.bns[i].Stats()
+				copy(rm, am)
+				copy(rv, av)
+			}
+		}
+	}
+	broadcast()
+
+	batches := data.NewBatches(trainSet, data.StreamConfig{
+		Batch:    batch,
+		Epochs:   cfg.SGD.Epochs,
+		Seed:     cfg.SGD.Seed,
+		Augment:  cfg.SGD.Augment,
+		Prefetch: cfg.Prefetch,
+	})
+	defer batches.Close()
+
+	hist := &train.History{}
+	start := time.Now()
+	for epoch := 0; epoch < cfg.SGD.Epochs; epoch++ {
+		lr := cfg.SGD.LRAt(epoch)
+		var epochLoss float64
+		for b := 0; b < nBatches; b++ {
+			x, y := batches.Next()
+			n := x.Shape[0]
+			shards := (n + ss - 1) / ss
+			active := min(R, shards)
+			// Scatter: replica r owns shards r, r+R, … — a fixed map, so
+			// each bank/loss slot has exactly one writer and the Each
+			// barrier orders those writes before the server's reads.
+			replicaPool.Each(active, func(r int) {
+				rep := reps[r]
+				for s := r; s < shards; s += R {
+					lo := s * ss
+					hi := min(lo+ss, n)
+					logits := rep.net.Forward(x.Rows(lo, hi), true)
+					loss, dl := nn.SoftmaxCrossEntropyScaled(logits, y[lo:hi], n)
+					rep.net.ZeroGrads()
+					rep.net.Backward(dl)
+					bank.Capture(s, rep.params)
+					losses[s] = loss
+				}
+			})
+			// Gather: canonical ascending fold, identical to the
+			// sequential trainer's shard loop.
+			bank.Reduce(authParams, shards)
+			var batchLoss float64
+			for s := 0; s < shards; s++ {
+				batchLoss += losses[s]
+			}
+			epochLoss += batchLoss
+			// Server-side regularizers + momentum, once per global step.
+			opt.Step(lr, cfg.SGD.Momentum)
+			averageStats(authBNs, reps[:active])
+			broadcast()
+		}
+		meanLoss := epochLoss / float64(nBatches)
+		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
+		hist.EpochTime = append(hist.EpochTime, time.Since(start))
+		if cfg.SGD.AfterEpoch != nil && !cfg.SGD.AfterEpoch(epoch, meanLoss) {
+			break
+		}
+	}
+	return &train.NetworkResult{Net: net, Regs: opt.Regs, History: hist}, nil
+}
+
+// averageStats overwrites the authoritative batch-norm running statistics
+// with the mean over the replicas that computed this step (ascending
+// replica order, so the fold is deterministic).
+func averageStats(authBNs []*nn.BatchNorm, active []*replica) {
+	if len(authBNs) == 0 {
+		return
+	}
+	inv := 1 / float64(len(active))
+	for i, b := range authBNs {
+		am, av := b.Stats()
+		for c := range am {
+			am[c], av[c] = 0, 0
+		}
+		for _, rep := range active {
+			rm, rv := rep.bns[i].Stats()
+			for c := range am {
+				am[c] += rm[c]
+				av[c] += rv[c]
+			}
+		}
+		for c := range am {
+			am[c] *= inv
+			av[c] *= inv
+		}
+	}
+}

@@ -81,6 +81,20 @@ func cloneLayer(l Layer) Layer {
 	}
 }
 
+// BatchNorms returns every batch-norm layer of the network in depth-first
+// layer order — the same order for architectural clones — so replica
+// running statistics can be paired positionally with the authoritative
+// network's.
+func (n *Network) BatchNorms() []*BatchNorm {
+	var out []*BatchNorm
+	for _, l := range allLayers(n.Layers) {
+		if b, ok := l.(*BatchNorm); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // allLayers flattens the layer tree depth-first, descending into residual
 // blocks, so serialization and inspection can reach every layer.
 func allLayers(ls []Layer) []Layer {

@@ -12,6 +12,18 @@ import (
 // with respect to the logits. This is the data-misfit term of Eq. 1 and its
 // gll gradient.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	return SoftmaxCrossEntropyScaled(logits, labels, logits.Shape[0])
+}
+
+// SoftmaxCrossEntropyScaled is SoftmaxCrossEntropy with the averaging
+// denominator made explicit: loss and gradient are divided by denom
+// instead of the row count. Micro-shard training passes the global batch
+// size as denom so each shard's gradient rows come out bit-identical to
+// the rows the whole-batch call would produce (each row is scaled
+// independently); the summed shard losses equal the whole-batch loss up
+// to floating-point association. denom == N is exactly the unscaled
+// function.
+func SoftmaxCrossEntropyScaled(logits *tensor.Tensor, labels []int, denom int) (loss float64, grad *tensor.Tensor) {
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy expects N×C logits, got %v", logits.Shape))
 	}
@@ -19,8 +31,11 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d samples", len(labels), n))
 	}
+	if denom <= 0 {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyScaled with denom %d", denom))
+	}
 	grad = tensor.New(n, c)
-	inv := 1 / float64(n)
+	inv := 1 / float64(denom)
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*c : (i+1)*c]
 		y := labels[i]

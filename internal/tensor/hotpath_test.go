@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -98,26 +99,33 @@ func TestArenaSizeClass(t *testing.T) {
 }
 
 func TestArenaReuse(t *testing.T) {
-	var a Arena
-	x := a.Get(8, 16)
-	if x.Shape[0] != 8 || x.Shape[1] != 16 || x.Len() != 128 {
-		t.Fatalf("Get(8,16) gave shape %v len %d", x.Shape, x.Len())
-	}
-	x.Fill(3)
-	a.Put(x)
-	y := a.Get(100) // same size class (128) must reuse x's backing array
-	if &y.Data[0] != &x.Data[0] {
-		t.Fatal("arena did not reuse the freed buffer within a size class")
-	}
-	if y.Len() != 100 {
-		t.Fatalf("reused tensor has len %d, want 100", y.Len())
-	}
-	a.Put(y)
-	z := a.GetZeroed(128)
-	for i, v := range z.Data {
-		if v != 0 {
-			t.Fatalf("GetZeroed left element %d = %v", i, v)
+	// Under -race, sync.Pool randomly drops a fraction of Puts, so a
+	// single Put/Get round-trip is allowed to miss; retrying on a fresh
+	// arena makes a genuine reuse bug still fail every attempt.
+	reused := false
+	for attempt := 0; attempt < 20 && !reused; attempt++ {
+		var a Arena
+		x := a.Get(8, 16)
+		if x.Shape[0] != 8 || x.Shape[1] != 16 || x.Len() != 128 {
+			t.Fatalf("Get(8,16) gave shape %v len %d", x.Shape, x.Len())
 		}
+		x.Fill(3)
+		a.Put(x)
+		y := a.Get(100) // same size class (128) should reuse x's backing array
+		reused = &y.Data[0] == &x.Data[0]
+		if reused && y.Len() != 100 {
+			t.Fatalf("reused tensor has len %d, want 100", y.Len())
+		}
+		a.Put(y)
+		z := a.GetZeroed(128)
+		for i, v := range z.Data {
+			if v != 0 {
+				t.Fatalf("GetZeroed left element %d = %v", i, v)
+			}
+		}
+	}
+	if !reused {
+		t.Fatal("arena did not reuse the freed buffer within a size class")
 	}
 }
 
@@ -141,21 +149,36 @@ func TestArenaOversized(t *testing.T) {
 }
 
 func TestArenaSliceRoundTrip(t *testing.T) {
-	var a Arena
-	s := a.GetSlice(300)
-	if len(s) != 300 {
-		t.Fatalf("GetSlice(300) has len %d", len(s))
+	// Same retry rationale as TestArenaReuse: sync.Pool sheds Puts
+	// randomly under -race.
+	for attempt := 0; attempt < 20; attempt++ {
+		var a Arena
+		s := a.GetSlice(300)
+		if len(s) != 300 {
+			t.Fatalf("GetSlice(300) has len %d", len(s))
+		}
+		a.PutSlice(s)
+		s2 := a.GetSlice(512) // class 9 holds caps in [512, 1024): 300→cap 512
+		if &s2[0] == &s[0] {
+			return
+		}
 	}
-	a.PutSlice(s)
-	s2 := a.GetSlice(512) // class 9 holds caps in [512, 1024): 300→cap 512
-	if &s2[0] != &s[0] {
-		t.Fatal("arena did not reuse slice within its class")
-	}
+	t.Fatal("arena did not reuse slice within its class")
 }
 
 // ---- worker pool ----
 
+// setGrain pins the process-wide partition grain for one test. Tests in
+// this package run sequentially, so the global swap is safe.
+func setGrain(t *testing.T, n int) {
+	t.Helper()
+	old := PartitionGrain()
+	SetPartitionGrain(n)
+	t.Cleanup(func() { SetPartitionGrain(old) })
+}
+
 func TestWorkerPoolCoversRangeOnce(t *testing.T) {
+	setGrain(t, 4)
 	p := &WorkerPool{Size: 4}
 	const n = 1000
 	var hits [n]int32
@@ -172,6 +195,7 @@ func TestWorkerPoolCoversRangeOnce(t *testing.T) {
 }
 
 func TestWorkerPoolChunkPartition(t *testing.T) {
+	setGrain(t, 4)
 	p := &WorkerPool{Size: 4}
 	if got := p.Chunks(1000); got != 4 {
 		t.Fatalf("Chunks(1000) = %d, want 4", got)
@@ -182,18 +206,35 @@ func TestWorkerPoolChunkPartition(t *testing.T) {
 	if got := p.Chunks(0); got != 0 {
 		t.Fatalf("Chunks(0) = %d, want 0", got)
 	}
-	// With cutoff satisfied but n < Size, one chunk per element.
+	// With cutoff satisfied but n < grain, one chunk per element.
 	SetSerialCutoff(2)
 	defer SetSerialCutoff(64)
 	if got := p.Chunks(3); got != 3 {
 		t.Fatalf("Chunks(3) = %d, want 3", got)
 	}
 	seen := make(map[int][2]int)
+	var mu sync.Mutex
 	p.ParallelIndexed(3, func(c, lo, hi int) {
-		seen[c] = [2]int{lo, hi} // distinct chunks: no racing writes per key
+		mu.Lock()
+		seen[c] = [2]int{lo, hi}
+		mu.Unlock()
 	})
 	if len(seen) != 3 {
 		t.Fatalf("got %d chunks, want 3: %v", len(seen), seen)
+	}
+}
+
+// TestWorkerPoolChunksWidthIndependent asserts the partition is a pure
+// function of n: pools of different widths must produce identical chunk
+// counts, so per-chunk floating-point reductions are bit-identical no
+// matter which pool (or how many replicas) runs them.
+func TestWorkerPoolChunksWidthIndependent(t *testing.T) {
+	setGrain(t, 4)
+	narrow, wide := &WorkerPool{Size: 2}, &WorkerPool{Size: 16}
+	for _, n := range []int{0, 1, 10, 64, 65, 97, 1000} {
+		if a, b := narrow.Chunks(n), wide.Chunks(n); a != b {
+			t.Fatalf("Chunks(%d) differs across widths: %d vs %d", n, a, b)
+		}
 	}
 }
 
@@ -203,6 +244,7 @@ func TestWorkerPoolChunkPartition(t *testing.T) {
 // trailing ranges, still visit every index exactly once, and never hand a
 // caller lo > hi (which made slice expressions like c[lo*n:hi*n] panic).
 func TestWorkerPoolOvershootClamp(t *testing.T) {
+	setGrain(t, 16)
 	p := &WorkerPool{Size: 16}
 	for _, n := range []int{65, 64, 97, 100, 1000} {
 		hits := make([]int32, n)
@@ -226,6 +268,7 @@ func TestWorkerPoolOvershootClamp(t *testing.T) {
 // k that used to overshoot the partition (the reviewer's reproducer:
 // Parallel(65) on a Size:16 pool panicked slicing [700:650]).
 func TestMatMulTransAOvershootShapes(t *testing.T) {
+	setGrain(t, 16)
 	pool := &WorkerPool{Size: 16}
 	rng := NewRNG(29)
 	for _, k := range []int{65, 97, 130} {
@@ -246,6 +289,7 @@ func TestMatMulTransAOvershootShapes(t *testing.T) {
 // inside jobs on the same pool must complete because submitters always work
 // on their own ranges.
 func TestWorkerPoolNested(t *testing.T) {
+	setGrain(t, 4)
 	SetSerialCutoff(1)
 	defer SetSerialCutoff(64)
 	p := &WorkerPool{Size: 4}
@@ -263,6 +307,7 @@ func TestWorkerPoolNested(t *testing.T) {
 }
 
 func TestWorkerPoolConcurrentSubmitters(t *testing.T) {
+	setGrain(t, 4)
 	SetSerialCutoff(1)
 	defer SetSerialCutoff(64)
 	p := &WorkerPool{Size: 4}
@@ -282,6 +327,67 @@ func TestWorkerPoolConcurrentSubmitters(t *testing.T) {
 		if got := <-done; got != 50*97 {
 			t.Fatalf("submitter covered %d, want %d", got, 50*97)
 		}
+	}
+}
+
+func TestWorkerPoolEach(t *testing.T) {
+	setGrain(t, 1) // Each must fan out even when Chunks would collapse to 1
+	p := &WorkerPool{Size: 4}
+	for _, n := range []int{0, 1, 3, 8, 100} {
+		hits := make([]int32, n)
+		p.Each(n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: body %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+// TestWorkerPoolBudget is the oversubscription guard for replica fan-out:
+// running R replica bodies via Each, each issuing nested Parallel work,
+// must never have more goroutines active than the pool size (Size-1
+// workers plus the one submitter). This is what keeps dist.Network's
+// replicas within GOMAXPROCS instead of multiplying it.
+func TestWorkerPoolBudget(t *testing.T) {
+	setGrain(t, 4)
+	SetSerialCutoff(1)
+	defer SetSerialCutoff(64)
+	const size = 4
+	p := &WorkerPool{Size: size}
+	var active, peak int64
+	enter := func() {
+		a := atomic.AddInt64(&active, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if a <= old || atomic.CompareAndSwapInt64(&peak, old, a) {
+				break
+			}
+		}
+	}
+	leave := func() { atomic.AddInt64(&active, -1) }
+	p.Each(8, func(i int) {
+		// Nested fine-grained work steals chunks from the same worker set;
+		// counting inside the leaves measures goroutines actually executing
+		// (a submitter parked in wg.Wait is blocked, not working). Every
+		// leaf runs on one of the pool's size goroutines, so the peak can
+		// never exceed size.
+		for rep := 0; rep < 20; rep++ {
+			p.Parallel(256, func(lo, hi int) {
+				enter()
+				s := 0.0
+				for k := lo; k < hi; k++ {
+					s += float64(k)
+				}
+				_ = s
+				leave()
+			})
+		}
+	})
+	if got := atomic.LoadInt64(&peak); got > size {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", got, size)
 	}
 }
 
@@ -346,6 +452,7 @@ func TestPooledKernelsBitIdentical(t *testing.T) {
 // 4-wide pool: repeated runs must agree bit-for-bit with each other, and
 // match the serial kernel to rounding.
 func TestMatMulTransAParallelDeterministic(t *testing.T) {
+	setGrain(t, 4)
 	SetSerialCutoff(8)
 	defer SetSerialCutoff(64)
 	pool := &WorkerPool{Size: 4}

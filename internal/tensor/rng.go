@@ -71,6 +71,17 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
+// ShuffleInts permutes xs in place with a Fisher–Yates shuffle, consuming
+// exactly len(xs)-1 draws. Every epoch-shuffle in the repository (train,
+// dist, the data pipeline) goes through this one helper so that a seed
+// yields the same visiting order everywhere.
+func (r *RNG) ShuffleInts(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
 // Split derives an independent generator; useful for handing a stream to a
 // sub-component without correlating its draws with the parent's.
 func (r *RNG) Split() *RNG {

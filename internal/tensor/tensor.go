@@ -56,6 +56,19 @@ func (t *Tensor) Dim(i int) int { return t.Shape[i] }
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.Shape) }
 
+// Rows returns a view of rows [lo, hi) along the leading dimension — the
+// shard windows micro-shard training runs forward/backward over. The view
+// shares t's backing data.
+func (t *Tensor) Rows(lo, hi int) *Tensor {
+	n := t.Shape[0]
+	if lo < 0 || hi < lo || hi > n {
+		panic(fmt.Sprintf("tensor: rows [%d, %d) out of range for leading dim %d", lo, hi, n))
+	}
+	sz := len(t.Data) / n
+	shape := append([]int{hi - lo}, t.Shape[1:]...)
+	return FromSlice(t.Data[lo*sz:hi*sz], shape...)
+}
+
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.Shape...)

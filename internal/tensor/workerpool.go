@@ -20,10 +20,19 @@ import (
 //  2. Workers never block on anything except the job channel, so a job's
 //     chunks are always drained by goroutines that are actively running.
 //
-// The chunk partition of [0, n) depends only on n and the pool size — never
-// on how many helpers actually join — so callers that keep per-chunk state
-// (per-chunk gradient partials, MatMulTransA partial products) get
-// deterministic, schedule-independent results.
+// The chunk partition of [0, n) depends only on n and the process-wide
+// partition grain — never on the pool's width or on how many helpers
+// actually join — so callers that keep per-chunk state (per-chunk gradient
+// partials, MatMulTransA partial products) get deterministic,
+// schedule-independent results that are also identical across pools of
+// different sizes. That width-independence is what lets data-parallel
+// training (internal/dist) reproduce the sequential trainer bit for bit.
+//
+// The pool is also the concurrency budget: Each lets a caller run R
+// replica bodies as pool jobs instead of spawning R goroutines, so the
+// total number of goroutines doing work at any instant stays bounded by
+// the pool size (workers + submitter) even when each body issues nested
+// Parallel calls.
 
 // serialCutoff is the row count below which Parallel runs on the calling
 // goroutine. The default was benchmark-tuned with BenchmarkParallelCutoff
@@ -33,13 +42,40 @@ import (
 // GMREG_SERIAL_CUTOFF environment variable.
 var serialCutoff int64 = 64
 
+// partitionGrain is the maximum chunk count Chunks partitions a range into.
+// It is captured from GOMAXPROCS at startup (and can be pinned with
+// SetPartitionGrain or GMREG_PARTITION_GRAIN) rather than read from each
+// pool's width so that the partition — and therefore every per-chunk
+// floating-point reduction — is a pure function of n, identical no matter
+// which pool executes the job or how many replicas share the machine.
+var partitionGrain int64
+
 func init() {
+	partitionGrain = int64(runtime.GOMAXPROCS(0))
 	if s := os.Getenv("GMREG_SERIAL_CUTOFF"); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v > 0 {
 			serialCutoff = int64(v)
 		}
 	}
+	if s := os.Getenv("GMREG_PARTITION_GRAIN"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			partitionGrain = int64(v)
+		}
+	}
 }
+
+// SetPartitionGrain pins the maximum chunk count used by every pool's
+// partition. Fixing it to the same value on different machines makes
+// chunked reductions bit-identical across them.
+func SetPartitionGrain(n int) {
+	if n < 1 {
+		n = 1
+	}
+	atomic.StoreInt64(&partitionGrain, int64(n))
+}
+
+// PartitionGrain returns the current partition grain.
+func PartitionGrain() int { return int(atomic.LoadInt64(&partitionGrain)) }
 
 // SetSerialCutoff overrides the minimum n for which Parallel fans out.
 func SetSerialCutoff(n int) {
@@ -120,19 +156,18 @@ func (p *WorkerPool) start() {
 
 // Chunks returns the number of chunks ParallelIndexed will partition
 // [0, n) into — callers allocating per-chunk state size it with this. The
-// partition is a pure function of n and the pool size.
+// partition is a pure function of n and the process-wide partition grain
+// (not the pool width), so per-chunk reductions give the same bits on any
+// pool.
 func (p *WorkerPool) Chunks(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	size := p.width()
-	if size <= 1 || int64(n) < atomic.LoadInt64(&serialCutoff) {
+	grain := int(atomic.LoadInt64(&partitionGrain))
+	if grain <= 1 || int64(n) < atomic.LoadInt64(&serialCutoff) {
 		return 1
 	}
-	if size > n {
-		size = n
-	}
-	return size
+	return min(grain, n)
 }
 
 // ParallelIndexed partitions [0, n) into Chunks(n) contiguous chunks and
@@ -150,13 +185,19 @@ func (p *WorkerPool) ParallelIndexed(n int, f func(chunk, lo, hi int)) {
 		f(0, 0, n)
 		return
 	}
+	p.submit(&rangeJob{n: n, chunk: (n + chunks - 1) / chunks, chunks: chunks, f: f})
+}
+
+// submit posts a job, helps run it, and waits for every chunk to finish.
+func (p *WorkerPool) submit(j *rangeJob) {
 	p.start()
-	j := &rangeJob{n: n, chunk: (n + chunks - 1) / chunks, chunks: chunks, f: f}
-	j.wg.Add(chunks)
-	// Invite up to size-1 helpers without ever blocking: if the queue is
-	// full the submitter simply runs more chunks itself.
+	j.wg.Add(j.chunks)
+	// Invite helpers without ever blocking: if the queue is full the
+	// submitter simply runs more chunks itself. There is no point inviting
+	// more helpers than there are chunks beyond the submitter's own.
+	helpers := min(p.width(), j.chunks) - 1
 invite:
-	for i := 1; i < p.width(); i++ {
+	for i := 0; i < helpers; i++ {
 		select {
 		case p.tasks <- j:
 		default:
@@ -165,6 +206,29 @@ invite:
 	}
 	j.run()
 	j.wg.Wait()
+}
+
+// Each runs f(i) for every i in [0, n) as n single-index pool chunks,
+// regardless of the serial cutoff and partition grain. It is the
+// concurrency-budget primitive for coarse replica fan-out: each body runs
+// on a pool worker (or the submitter), so n replicas never add goroutines
+// beyond the pool's size, and nested Parallel calls inside a body steal
+// chunks from the same fixed worker set instead of oversubscribing the
+// machine. Bodies with distinct i may run concurrently; Each returns after
+// all n have finished.
+func (p *WorkerPool) Each(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		f(0)
+		return
+	}
+	p.submit(&rangeJob{n: n, chunk: 1, chunks: n, f: func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	}})
 }
 
 // Parallel runs f over contiguous sub-ranges of [0, n) concurrently; the
@@ -187,3 +251,8 @@ func ParallelIndexed(n int, f func(chunk, lo, hi int)) { defaultPool.ParallelInd
 
 // ParallelChunks returns the chunk count the shared pool will use for n.
 func ParallelChunks(n int) int { return defaultPool.Chunks(n) }
+
+// Pool returns the shared process-wide worker pool so coarse-grained
+// callers (replica fan-out in internal/dist) can schedule work on the same
+// fixed worker set the kernels use instead of spawning goroutines.
+func Pool() *WorkerPool { return &defaultPool }

@@ -7,7 +7,6 @@ import (
 	"gmreg/internal/data"
 	"gmreg/internal/nn"
 	"gmreg/internal/reg"
-	"gmreg/internal/tensor"
 )
 
 // NetworkResult bundles a trained network with the per-layer regularizers
@@ -24,6 +23,14 @@ type NetworkResult struct {
 // scales) gets its own regularizer from factory, mirroring the paper's
 // per-layer GMs that all share one hyper-parameter recipe. The
 // regularization gradient is scaled by 1/N like in LogReg.
+//
+// With cfg.ShardSize set, each minibatch is processed as a sequence of
+// fixed-size micro-shards — independent forward/backward passes whose
+// gradients are folded in ascending shard order before the single
+// Optimizer.Step — which is the same canonical partition dist.Network
+// distributes across replicas, so the two trainers agree bit for bit for a
+// given (seed, batch, shard) configuration on architectures without batch
+// norm.
 func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory reg.Factory) (*NetworkResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -34,70 +41,63 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory re
 	if trainSet.N == 0 {
 		return nil, fmt.Errorf("train: empty training set")
 	}
-	rng := tensor.NewRNG(cfg.Seed)
 	batch := cfg.BatchSize
 	if batch > trainSet.N {
 		batch = trainSet.N
 	}
 	nBatches := (trainSet.N + batch - 1) / batch
-
-	params := net.Params()
-	regs := map[string]reg.Regularizer{}
-	gregs := map[string][]float64{}
-	vels := make([][]float64, len(params))
-	for i, p := range params {
-		vels[i] = make([]float64, len(p.W))
-		if !p.Regularize {
-			continue
-		}
-		r := factory(len(p.W), p.InitStd)
-		if ea, ok := r.(EpochAware); ok {
-			ea.SetBatchesPerEpoch(nBatches)
-		}
-		regs[p.Name] = r
-		gregs[p.Name] = make([]float64, len(p.W))
+	ss := cfg.ShardSize
+	if ss <= 0 || ss > batch {
+		ss = batch
 	}
-	regScale := 1 / float64(trainSet.N)
 
-	rows := make([]int, trainSet.N)
-	for i := range rows {
-		rows[i] = i
+	opt := NewOptimizer(net.Params(), factory, nBatches, 1/float64(trainSet.N))
+	var bank *GradBank
+	if ss < batch {
+		bank = NewGradBank(opt.Params, (batch+ss-1)/ss)
 	}
+	batches := data.NewBatches(trainSet, data.StreamConfig{
+		Batch:    batch,
+		Epochs:   cfg.Epochs,
+		Seed:     cfg.Seed,
+		Augment:  cfg.Augment,
+		Prefetch: cfg.Prefetch,
+	})
+	defer batches.Close()
+
 	hist := &History{}
 	start := time.Now()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.lrAt(epoch)
-		shuffle(rows, rng)
 		var epochLoss float64
 		for b := 0; b < nBatches; b++ {
-			lo, hi := b*batch, (b+1)*batch
-			if hi > len(rows) {
-				hi = len(rows)
-			}
-			var x *tensor.Tensor
-			var y []int
-			if cfg.Augment {
-				x, y = trainSet.AugmentBatch(rows[lo:hi], rng)
+			x, y := batches.Next()
+			n := x.Shape[0]
+			var batchLoss float64
+			if bank == nil || n <= ss {
+				// Whole batch as one shard: gradients accumulate directly
+				// in p.Grad, no snapshot round-trip.
+				logits := net.Forward(x, true)
+				loss, dLogits := nn.SoftmaxCrossEntropy(logits, y)
+				batchLoss = loss
+				net.ZeroGrads()
+				net.Backward(dLogits)
 			} else {
-				x, y = trainSet.Batch(rows[lo:hi])
-			}
-			logits := net.Forward(x, true)
-			loss, dLogits := nn.SoftmaxCrossEntropy(logits, y)
-			epochLoss += loss
-			net.ZeroGrads()
-			net.Backward(dLogits)
-			for i, p := range params {
-				if r, ok := regs[p.Name]; ok {
-					buf := gregs[p.Name]
-					r.Grad(p.W, buf)
-					tensor.Axpy(regScale, buf, p.Grad)
+				shards := (n + ss - 1) / ss
+				for s := 0; s < shards; s++ {
+					lo := s * ss
+					hi := min(lo+ss, n)
+					logits := net.Forward(x.Rows(lo, hi), true)
+					loss, dl := nn.SoftmaxCrossEntropyScaled(logits, y[lo:hi], n)
+					batchLoss += loss
+					net.ZeroGrads()
+					net.Backward(dl)
+					bank.Capture(s, opt.Params)
 				}
-				v := vels[i]
-				for j := range v {
-					v[j] = cfg.Momentum*v[j] - lr*p.Grad[j]
-					p.W[j] += v[j]
-				}
+				bank.Reduce(opt.Params, shards)
 			}
+			epochLoss += batchLoss
+			opt.Step(lr, cfg.Momentum)
 		}
 		meanLoss := epochLoss / float64(nBatches)
 		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
@@ -106,7 +106,7 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory re
 			break
 		}
 	}
-	return &NetworkResult{Net: net, Regs: regs, History: hist}, nil
+	return &NetworkResult{Net: net, Regs: opt.Regs, History: hist}, nil
 }
 
 // EvalNetwork returns classification accuracy of the network on an image set

@@ -1,0 +1,116 @@
+package train
+
+import (
+	"gmreg/internal/nn"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+)
+
+// Optimizer is the server side of network SGD: per-group regularizers,
+// momentum velocities, and the weight update applied once per global step.
+// Both the sequential trainer and dist.Network drive the same Optimizer
+// code, so a given accumulated gradient produces the same weights bit for
+// bit on either path — and stateful regularizers (the GM's E/M steps) see
+// exactly one Grad call per global step, never per-shard fragments.
+type Optimizer struct {
+	// Params are the parameter groups being optimized, in network order.
+	Params []*nn.Param
+	// Regs holds the per-group regularizers, keyed by group name — the
+	// handles through which learned GM parameters are read out.
+	Regs map[string]reg.Regularizer
+
+	regScale float64
+	gregs    map[string][]float64
+	vels     [][]float64
+}
+
+// NewOptimizer builds the per-group regularizers from factory (wiring the
+// batches-per-epoch count into EpochAware ones) and zeroed velocities.
+// regScale is the 1/N weighting of the regularization gradient.
+func NewOptimizer(params []*nn.Param, factory reg.Factory, batchesPerEpoch int, regScale float64) *Optimizer {
+	o := &Optimizer{
+		Params:   params,
+		Regs:     map[string]reg.Regularizer{},
+		regScale: regScale,
+		gregs:    map[string][]float64{},
+		vels:     make([][]float64, len(params)),
+	}
+	for i, p := range params {
+		o.vels[i] = make([]float64, len(p.W))
+		if !p.Regularize {
+			continue
+		}
+		r := factory(len(p.W), p.InitStd)
+		if ea, ok := r.(EpochAware); ok {
+			ea.SetBatchesPerEpoch(batchesPerEpoch)
+		}
+		o.Regs[p.Name] = r
+		o.gregs[p.Name] = make([]float64, len(p.W))
+	}
+	return o
+}
+
+// Step applies one global SGD+momentum update: each group's accumulated
+// data-misfit gradient (already in p.Grad) gets the scaled regularization
+// gradient added, then v ← momentum·v − lr·g and w ← w + v.
+func (o *Optimizer) Step(lr, momentum float64) {
+	for i, p := range o.Params {
+		if r, ok := o.Regs[p.Name]; ok {
+			buf := o.gregs[p.Name]
+			r.Grad(p.W, buf)
+			tensor.Axpy(o.regScale, buf, p.Grad)
+		}
+		v := o.vels[i]
+		for j := range v {
+			v[j] = momentum*v[j] - lr*p.Grad[j]
+			p.W[j] += v[j]
+		}
+	}
+}
+
+// GradBank stores per-shard gradient snapshots of a minibatch, one
+// flattened buffer per shard, and folds them back in canonical order. The
+// ascending left-fold in Reduce is part of the numeric contract: the
+// sequential trainer and dist.Network produce bit-identical weights
+// because they fold identical shard snapshots in the identical order,
+// regardless of which goroutine (or replica) computed each snapshot.
+type GradBank struct {
+	offs []int
+	bufs [][]float64
+}
+
+// NewGradBank sizes buffers for up to shards snapshots of params' layout.
+func NewGradBank(params []*nn.Param, shards int) *GradBank {
+	offs := make([]int, len(params)+1)
+	for i, p := range params {
+		offs[i+1] = offs[i] + len(p.W)
+	}
+	bufs := make([][]float64, shards)
+	for s := range bufs {
+		bufs[s] = make([]float64, offs[len(params)])
+	}
+	return &GradBank{offs: offs, bufs: bufs}
+}
+
+// Capture snapshots every group's Grad as shard s's contribution. params
+// must share the constructor's layout (architectural clones do); distinct
+// shards may be captured concurrently.
+func (g *GradBank) Capture(s int, params []*nn.Param) {
+	buf := g.bufs[s]
+	for i, p := range params {
+		copy(buf[g.offs[i]:g.offs[i+1]], p.Grad)
+	}
+}
+
+// Reduce overwrites params' Grad with the ascending-order sum of shards
+// [0, shards).
+func (g *GradBank) Reduce(params []*nn.Param, shards int) {
+	for i, p := range params {
+		for j := range p.Grad {
+			p.Grad[j] = 0
+		}
+		for s := 0; s < shards; s++ {
+			tensor.Axpy(1, g.bufs[s][g.offs[i]:g.offs[i+1]], p.Grad)
+		}
+	}
+}

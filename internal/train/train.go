@@ -28,8 +28,24 @@ type SGDConfig struct {
 	Epochs int
 	// BatchSize is the minibatch size (clamped to the training set size).
 	BatchSize int
+	// ShardSize, when positive, splits every network minibatch into
+	// fixed-size micro-shards processed as independent forward/backward
+	// passes whose gradients are summed in ascending shard order before
+	// the single regularizer+momentum update. This canonical partition is
+	// what dist.Network distributes across replicas: any replica count
+	// folding the same shards in the same order reproduces the same bits.
+	// 0 keeps whole-batch processing (one shard per batch). Batch-norm
+	// layers normalize over their shard ("ghost batch norm"), so for
+	// batch-norm networks ShardSize is a (deterministic) semantic knob,
+	// not just an execution detail. Ignored by LogReg.
+	ShardSize int
 	// Seed drives shuffling (and augmentation, for image training).
 	Seed uint64
+	// Prefetch assembles image minibatches one step ahead on a background
+	// goroutine (see data.StreamConfig). The batch sequence is
+	// bit-identical either way; this only overlaps gather/augmentation
+	// with compute. Ignored by LogReg.
+	Prefetch bool
 	// Augment applies the CIFAR crop+flip augmentation to image batches
 	// (the paper enables it for ResNet only).
 	Augment bool
@@ -60,6 +76,8 @@ func (c SGDConfig) Validate() error {
 		return fmt.Errorf("train: epochs must be at least 1, got %d", c.Epochs)
 	case c.BatchSize < 1:
 		return fmt.Errorf("train: batch size must be at least 1, got %d", c.BatchSize)
+	case c.ShardSize < 0:
+		return fmt.Errorf("train: shard size must be non-negative, got %d", c.ShardSize)
 	case c.Momentum < 0 || c.Momentum >= 1:
 		return fmt.Errorf("train: momentum must be in [0,1), got %v", c.Momentum)
 	case c.LRDecayEvery < 0:
@@ -70,6 +88,10 @@ func (c SGDConfig) Validate() error {
 		return nil
 	}
 }
+
+// LRAt returns the scheduled learning rate for a 0-based epoch; exposed so
+// dist.Network can drive the identical schedule server-side.
+func (c SGDConfig) LRAt(epoch int) float64 { return c.lrAt(epoch) }
 
 // lrAt returns the scheduled learning rate for an epoch (0-based).
 func (c SGDConfig) lrAt(epoch int) float64 {
@@ -172,7 +194,7 @@ func LogReg(task *data.Task, trainRows []int, cfg SGDConfig, factory reg.Factory
 		if !bb {
 			lr = cfg.lrAt(epoch)
 		}
-		shuffle(rows, rng)
+		rng.ShuffleInts(rows)
 		var epochLoss float64
 		if bb {
 			for i := range avgG {
@@ -242,11 +264,4 @@ func bbStep(w, prevW, g, prevG []float64, current, base float64, batchesPerEpoch
 		step = hi
 	}
 	return step
-}
-
-func shuffle(rows []int, rng *tensor.RNG) {
-	for i := len(rows) - 1; i > 0; i-- {
-		j := rng.Intn(i + 1)
-		rows[i], rows[j] = rows[j], rows[i]
-	}
 }
