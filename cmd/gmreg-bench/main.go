@@ -27,11 +27,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
 	"gmreg/internal/bench"
-	"gmreg/internal/tensor"
+	"gmreg/internal/cli"
 	"gmreg/internal/viz"
 )
 
@@ -41,18 +40,16 @@ func main() {
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		seed     = cli.Seed(flag.CommandLine)
 		svgDir   = flag.String("svg", "", "directory to write SVG renderings of fig3/fig5/fig6/fig7 (optional)")
-		procs    = flag.Int("procs", runtime.NumCPU(), "GOMAXPROCS (and kernel partition grain) for the run; default all cores")
+		procs    = cli.Procs(flag.CommandLine)
 	)
 	flag.Parse()
 
-	if *procs > 0 {
-		runtime.GOMAXPROCS(*procs)
-		// Pin the partition grain with it so chunked-kernel numerics are a
-		// function of the requested width, not of where the binary runs.
-		tensor.SetPartitionGrain(*procs)
-	}
+	// Pin GOMAXPROCS and the partition grain together so chunked-kernel
+	// numerics are a function of the requested width, not of where the
+	// binary runs.
+	cli.ApplyProcs(*procs)
 
 	var s bench.Scale
 	switch *scale {
@@ -189,7 +186,4 @@ func writeTimingSVGs(dir, name, title string, series []bench.TimingSeries) error
 	return nil
 }
 
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "gmreg-bench: "+format+"\n", args...)
-	os.Exit(1)
-}
+func fatalf(format string, args ...interface{}) { cli.Fatalf("gmreg-bench", format, args...) }

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"gmreg/internal/cli"
 	"gmreg/internal/core"
 	"gmreg/internal/tensor"
 )
@@ -109,7 +110,4 @@ func demoGM() *core.GM {
 	return g
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gmreg-inspect:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gmreg-inspect", err) }

@@ -10,11 +10,22 @@
 //	curl -s localhost:8090/predict -d '{"model":"horse-colic","features":[...]}'
 //	curl -s localhost:8090/swap -d '{"model":"horse-colic","seq":1}'   # rollback
 //	curl -s localhost:8090/healthz
+//	curl -s localhost:8090/metrics            # Prometheus text format
+//	go tool pprof localhost:8090/debug/pprof/profile?seconds=10
 //
 // The store file is polled (-watch); a new version written by a later
 // `gmreg-train -save` hot-swaps in without dropping in-flight requests.
 // Concurrent /predict requests are coalesced into micro-batches; when the
 // queue is full the server fast-fails with 503 instead of building backlog.
+//
+// /metrics exposes the serving series (request latency, coalesced batch
+// sizes, queue depth, shed counts, checkpoint swaps) plus the process-wide
+// tensor arena and worker-pool counters; /debug/pprof serves the standard
+// profiling endpoints. DESIGN.md §10 lists every metric family.
+//
+// Note: -replicas here is inference replicas per model (the maximum number
+// of concurrent forward passes), unlike gmreg-train's -workers, which is
+// data-parallel training replicas.
 package main
 
 import (
@@ -29,20 +40,23 @@ import (
 	"syscall"
 	"time"
 
+	"gmreg/internal/cli"
+	"gmreg/internal/obs"
 	"gmreg/internal/serve"
 	"gmreg/internal/store"
 )
 
 func main() {
 	var (
-		stPath   = flag.String("store", "gmreg.store", "checkpoint store file written by gmreg-train -save")
+		stPath   = cli.Store(flag.CommandLine, "checkpoint store file written by gmreg-train -save")
 		addr     = flag.String("addr", ":8090", "listen address")
 		watch    = flag.Duration("watch", time.Second, "store file poll interval (0 disables hot reload)")
-		replicas = flag.Int("replicas", 0, "network replicas per model (0 = half of GOMAXPROCS)")
+		replicas = flag.Int("replicas", 0, "inference replicas per model, i.e. concurrent forward passes — not gmreg-train's -workers (0 = half of GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 32, "max requests coalesced into one forward pass")
 		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "max time a batch waits to fill")
 		queueCap = flag.Int("queue", 0, "admission queue bound per model (0 = 8×max-batch)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline, queue wait included")
+		noPprof  = flag.Bool("no-pprof", false, "disable the /debug/pprof endpoints")
 	)
 	flag.Parse()
 
@@ -78,9 +92,16 @@ func main() {
 		go reg.WatchFile(ctx, *stPath, *watch)
 	}
 
+	// Mount the API routes and, unless disabled, the pprof endpoints on an
+	// outer mux. /metrics is part of srv.Handler() already.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if !*noPprof {
+		obs.RegisterPprof(mux)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
@@ -100,7 +121,4 @@ func main() {
 	srv.Close()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gmreg-serve:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gmreg-serve", err) }

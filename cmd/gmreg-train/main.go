@@ -22,6 +22,12 @@
 // micro-shard size so results are bit-identical across worker counts;
 // -prefetch overlaps batch assembly with compute.
 //
+// -telemetry FILE streams per-epoch training telemetry as JSON Lines: one
+// "epoch" record (loss, LR, wall time, arena/pool counters), one "gm" record
+// per parameter group (π, λ, component count, lazy-update skip ratio), and a
+// "merge" record whenever a mixture collapses components. Telemetry only
+// observes — training is bit-identical with or without it (DESIGN.md §10).
+//
 // -save KEY appends the trained model (weights, batch-norm statistics, and
 // the learned GM snapshot) as a new version of KEY in the checkpoint store
 // file named by -store, creating the file if needed. gmreg-serve serves and
@@ -36,11 +42,13 @@ import (
 	"sort"
 
 	"gmreg"
+	"gmreg/internal/cli"
 	"gmreg/internal/core"
 	"gmreg/internal/data"
 	"gmreg/internal/dist"
 	"gmreg/internal/models"
 	"gmreg/internal/nn"
+	"gmreg/internal/obs"
 	"gmreg/internal/serve"
 	"gmreg/internal/store"
 	"gmreg/internal/tensor"
@@ -54,27 +62,34 @@ func main() {
 		label    = flag.String("label", "", "label column for -csv (default: last column)")
 		model    = flag.String("model", "alex", "CNN for -dataset cifar: alex|resnet")
 		regName  = flag.String("reg", "gm", "regularizer: gm|l1|l2|elastic|huber|none")
-		beta     = flag.Float64("beta", 1, "strength for the fixed baselines")
-		gamma    = flag.Float64("gamma", 0.001, "GM γ (b = γ·M)")
-		epochs   = flag.Int("epochs", 40, "training epochs")
-		lr       = flag.Float64("lr", 0.5, "learning rate (use ~0.01 for CNNs)")
-		batch    = flag.Int("batch", 32, "minibatch size")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		trainN   = flag.Int("cifar-train", 500, "synthetic CIFAR training samples")
-		testN    = flag.Int("cifar-test", 200, "synthetic CIFAR test samples")
-		size     = flag.Int("cifar-size", 16, "synthetic CIFAR image size (32 = paper geometry)")
-		saveGM   = flag.String("save-gm", "", "write the learned GM snapshot JSON here (tabular + -reg gm only; inspect with gmreg-inspect)")
-		save     = flag.String("save", "", "append the trained model as a new checkpoint version under this store key")
-		stPath   = flag.String("store", "gmreg.store", "checkpoint store file for -save (created if missing)")
-		workers  = flag.Int("workers", 1, "model replicas for data-parallel CIFAR training (1 = sequential)")
-		shard    = flag.Int("shard", 0, "micro-shard size for CIFAR minibatches (0 = whole batch, or batch/workers when -workers > 1); pin it for bit-identical results across worker counts")
-		prefetch = flag.Bool("prefetch", false, "assemble CIFAR minibatches one step ahead on a background goroutine")
+		beta      = flag.Float64("beta", 1, "strength for the fixed baselines")
+		gamma     = flag.Float64("gamma", 0.001, "GM γ (b = γ·M)")
+		epochs    = flag.Int("epochs", 40, "training epochs")
+		lr        = flag.Float64("lr", 0.5, "learning rate (use ~0.01 for CNNs)")
+		batch     = flag.Int("batch", 32, "minibatch size")
+		seed      = cli.Seed(flag.CommandLine)
+		trainN    = flag.Int("cifar-train", 500, "synthetic CIFAR training samples")
+		testN     = flag.Int("cifar-test", 200, "synthetic CIFAR test samples")
+		size      = flag.Int("cifar-size", 16, "synthetic CIFAR image size (32 = paper geometry)")
+		saveGM    = flag.String("save-gm", "", "write the learned GM snapshot JSON here (tabular + -reg gm only; inspect with gmreg-inspect)")
+		save      = flag.String("save", "", "append the trained model as a new checkpoint version under this store key")
+		stPath    = cli.Store(flag.CommandLine, "checkpoint store file for -save (created if missing)")
+		workers   = cli.Workers(flag.CommandLine)
+		shard     = cli.Shard(flag.CommandLine)
+		prefetch  = cli.Prefetch(flag.CommandLine)
+		telemetry = cli.Telemetry(flag.CommandLine)
 	)
 	flag.Parse()
 	gmSnapshotPath = *saveGM
 	saveKey, savePath = *save, *stPath
 
-	factory, err := buildFactory(*regName, *beta, *gamma)
+	sink, done, err := cli.OpenTelemetry(*telemetry)
+	if err != nil {
+		fatal(err)
+	}
+	defer done()
+
+	factory, err := buildFactory(*regName, *beta, *gamma, sinkOrNil(sink))
 	if err != nil {
 		fatal(err)
 	}
@@ -86,6 +101,9 @@ func main() {
 		ShardSize:    *shard,
 		Seed:         *seed,
 		Prefetch:     *prefetch,
+	}
+	if sink != nil {
+		cfg.Sink = sink
 	}
 	if *csvPath != "" {
 		if err := runCSV(*csvPath, *label, cfg, factory, *seed); err != nil {
@@ -118,10 +136,22 @@ func runCSV(path, label string, cfg train.SGDConfig, factory gmreg.Factory, seed
 	return trainAndReport(task, cfg, factory, seed)
 }
 
-func buildFactory(name string, beta, gamma float64) (gmreg.Factory, error) {
+// sinkOrNil converts a possibly-nil concrete sink to a clean nil interface.
+func sinkOrNil(j *obs.JSONL) gmreg.Sink {
+	if j == nil {
+		return nil
+	}
+	return j
+}
+
+func buildFactory(name string, beta, gamma float64, sink gmreg.Sink) (gmreg.Factory, error) {
 	switch name {
 	case "gm":
-		return gmreg.GMFactory(gmreg.WithGamma(gamma)), nil
+		opts := []gmreg.Option{gmreg.WithGamma(gamma)}
+		if sink != nil {
+			opts = append(opts, gmreg.WithSink(sink))
+		}
+		return gmreg.GMFactory(opts...), nil
 	case "l1":
 		return gmreg.L1(beta), nil
 	case "l2":
@@ -299,7 +329,4 @@ func rounded(xs []float64) []float64 {
 	return out
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gmreg-train:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gmreg-train", err) }

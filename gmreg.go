@@ -29,7 +29,12 @@
 package gmreg
 
 import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
 	"gmreg/internal/core"
+	"gmreg/internal/obs"
 	"gmreg/internal/reg"
 )
 
@@ -46,7 +51,18 @@ type (
 	Regularizer = reg.Regularizer
 	// Factory builds a fresh Regularizer per parameter group.
 	Factory = reg.Factory
+	// Sink receives structured telemetry events (see internal/obs); pass
+	// one to GMFactory via WithSink or to a trainer's SGDConfig.
+	Sink = obs.Sink
+	// Event is one structured telemetry record.
+	Event = obs.Event
+	// Metrics is a named-metric registry with a Prometheus text exporter.
+	Metrics = obs.Registry
 )
+
+// Discard is the no-op sink: instrumentation stays wired, every event is
+// dropped, and observed computations are bit-identical to unobserved ones.
+var Discard = obs.Discard
 
 // Re-exported initialization methods (paper §V-E).
 const (
@@ -68,37 +84,113 @@ func NewGM(m int, cfg Config) (*GM, error) { return core.NewGM(m, cfg) }
 // MustNewGM is NewGM that panics on error.
 func MustNewGM(m int, cfg Config) *GM { return core.MustNewGM(m, cfg) }
 
+// Option configures GMFactory. One option vocabulary covers both the GM
+// hyper-parameters (WithConfig and its shorthands) and the observability
+// hooks (WithSink, WithMetrics), so a fully instrumented factory reads as
+// one coherent call:
+//
+//	gmreg.GMFactory(
+//		gmreg.WithGamma(0.002),
+//		gmreg.WithSink(sink),      // merge events
+//		gmreg.WithMetrics(reg),    // E/M-step latency histograms
+//	)
+type Option func(*factoryOptions)
+
+type factoryOptions struct {
+	conf    []func(*Config)
+	sink    obs.Sink
+	metrics *obs.Registry
+}
+
+// WithConfig applies an arbitrary mutation to every per-group Config the
+// factory builds (after the automatic recipe, before validation).
+func WithConfig(f func(*Config)) Option {
+	return func(o *factoryOptions) { o.conf = append(o.conf, f) }
+}
+
+// WithSink subscribes a sink to the factory's GMs: every component merge is
+// emitted as an obs.Merge event. The factory has no layer names, so groups
+// are labeled by creation order ("g0", "g1", …), which matches network
+// parameter order. Emission never alters the computation.
+func WithSink(s Sink) Option {
+	return func(o *factoryOptions) { o.sink = s }
+}
+
+// WithMetrics registers aggregate E-step and M-step latency histograms
+// (gmreg_gm_estep_seconds, gmreg_gm_mstep_seconds) in r and wires every GM
+// the factory creates to observe into them.
+func WithMetrics(r *Metrics) Option {
+	return func(o *factoryOptions) { o.metrics = r }
+}
+
 // GMFactory returns a Factory producing one adaptive GM per parameter group,
 // using the automatic recipe anchored at each group's initialization scale.
-// Options mutate the per-group config (e.g. to pick γ from GammaGrid).
-func GMFactory(opts ...func(*Config)) Factory {
+// Options mutate the per-group config (e.g. to pick γ from GammaGrid) and
+// attach observability hooks; with no observability options the GMs carry no
+// hooks and run exactly as before.
+func GMFactory(opts ...Option) Factory {
+	var o factoryOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var eStep, mStep *obs.Histogram
+	if o.metrics != nil {
+		eStep = o.metrics.Histogram("gmreg_gm_estep_seconds",
+			"GM E-step (responsibility update) latency.", obs.DefLatencyBuckets)
+		mStep = o.metrics.Histogram("gmreg_gm_mstep_seconds",
+			"GM M-step (parameter update) latency.", obs.DefLatencyBuckets)
+	}
+	var groups atomic.Int64
 	return func(m int, initStd float64) Regularizer {
 		cfg := core.DefaultConfig(initStd)
-		for _, opt := range opts {
-			opt(&cfg)
+		for _, f := range o.conf {
+			f(&cfg)
 		}
-		return core.MustNewGM(m, cfg)
+		g := core.MustNewGM(m, cfg)
+		if o.sink == nil && o.metrics == nil {
+			return g
+		}
+		group := fmt.Sprintf("g%d", groups.Add(1)-1)
+		h := &core.Hooks{}
+		if eStep != nil {
+			h.EStep = func(d time.Duration) { eStep.Observe(d.Seconds()) }
+			h.MStep = func(d time.Duration) { mStep.Observe(d.Seconds()) }
+		}
+		if o.sink != nil {
+			sink := o.sink
+			h.Merge = func(fromK, toK, mSteps int) {
+				sink.Emit(obs.Merge{Group: group, FromK: fromK, ToK: toK, MStep: mSteps})
+			}
+		}
+		g.SetHooks(h)
+		return g
 	}
 }
 
 // WithGamma sets γ (prior rate b = γ·M) on a GMFactory.
-func WithGamma(gamma float64) func(*Config) {
-	return func(c *Config) { c.Gamma = gamma }
+//
+// Deprecated: thin wrapper over WithConfig, kept for existing call sites.
+func WithGamma(gamma float64) Option {
+	return WithConfig(func(c *Config) { c.Gamma = gamma })
 }
 
 // WithLazyUpdate sets the lazy-update schedule: E warm-up epochs, greg every
 // im iterations, GM parameters every ig iterations.
-func WithLazyUpdate(e, im, ig int) func(*Config) {
-	return func(c *Config) {
+//
+// Deprecated: thin wrapper over WithConfig, kept for existing call sites.
+func WithLazyUpdate(e, im, ig int) Option {
+	return WithConfig(func(c *Config) {
 		c.WarmupEpochs = e
 		c.RegInterval = im
 		c.GMInterval = ig
-	}
+	})
 }
 
 // WithInit selects the GM precision initialization method.
-func WithInit(m InitMethod) func(*Config) {
-	return func(c *Config) { c.Init = m }
+//
+// Deprecated: thin wrapper over WithConfig, kept for existing call sites.
+func WithInit(m InitMethod) Option {
+	return WithConfig(func(c *Config) { c.Init = m })
 }
 
 // Fixed-baseline factories, for comparison runs.

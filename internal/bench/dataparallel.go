@@ -36,14 +36,20 @@ type DataParallelCase struct {
 
 // DataParallelReport is the full sweep written to BENCH_dataparallel.json.
 type DataParallelReport struct {
-	GOMAXPROCS     int                `json:"gomaxprocs"`
-	PartitionGrain int                `json:"partition_grain"`
-	TrainN         int                `json:"train_n"`
-	ImageSize      int                `json:"image_size"`
-	Batch          int                `json:"batch"`
-	ShardSize      int                `json:"shard_size"`
-	Epochs         int                `json:"epochs"`
-	Cases          []DataParallelCase `json:"cases"`
+	GOMAXPROCS     int `json:"gomaxprocs"`
+	PartitionGrain int `json:"partition_grain"`
+	// ScalingValid records whether the speedup column measures real
+	// parallelism: false when the sweep ran with GOMAXPROCS=1, where every
+	// replica shares one CPU and the numbers only measure fan-out overhead.
+	// Readers must not quote the speedup/efficiency columns of an invalid
+	// run as scaling results.
+	ScalingValid bool               `json:"scaling_valid"`
+	TrainN       int                `json:"train_n"`
+	ImageSize    int                `json:"image_size"`
+	Batch        int                `json:"batch"`
+	ShardSize    int                `json:"shard_size"`
+	Epochs       int                `json:"epochs"`
+	Cases        []DataParallelCase `json:"cases"`
 }
 
 // DataParallelJSONPath is where the experiment writes its JSON report.
@@ -63,6 +69,7 @@ func RunDataParallel(w io.Writer, s Scale) (*DataParallelReport, error) {
 	rep := &DataParallelReport{
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		PartitionGrain: tensor.PartitionGrain(),
+		ScalingValid:   runtime.GOMAXPROCS(0) > 1,
 		TrainN:         trainN,
 		ImageSize:      size,
 		Batch:          batch,
@@ -117,6 +124,9 @@ func RunDataParallel(w io.Writer, s Scale) (*DataParallelReport, error) {
 	sectionHeader(w, "Data-parallel Alex-shaped training (pinned shard partition)")
 	fmt.Fprintf(w, "train=%d size=%d batch=%d shard=%d epochs=%d gomaxprocs=%d\n",
 		trainN, size, batch, rep.ShardSize, epochs, rep.GOMAXPROCS)
+	if !rep.ScalingValid {
+		fmt.Fprintln(w, "WARNING: GOMAXPROCS=1 — speedup/efficiency measure fan-out overhead, not scaling")
+	}
 	t := newTable("replicas", "prefetch", "epoch s", "speedup", "efficiency", "final loss")
 	for _, c := range rep.Cases {
 		t.addRowf("%d|%v|%.3f|%.2f|%.2f|%.6f",

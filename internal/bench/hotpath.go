@@ -7,9 +7,11 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"gmreg/internal/core"
 	"gmreg/internal/nn"
+	"gmreg/internal/obs"
 	"gmreg/internal/tensor"
 )
 
@@ -204,6 +206,43 @@ func RunHotpath(w io.Writer, _ Scale) (*HotpathReport, error) {
 			func(bb *testing.B) {
 				for i := 0; i < bb.N; i++ {
 					g.CalResponsibility(wv)
+				}
+			})
+	}
+
+	// Observability overhead: the identical Grad loop with E/M-step timing
+	// hooks feeding live obs histograms ("after") against bare hooks-nil GMs
+	// ("baseline"). The obs contract is <2% wall-time overhead when enabled,
+	// so this row's speedup must stay ≈1.0; CI tracks it via the JSON.
+	{
+		const m = 89440
+		grng := tensor.NewRNG(3)
+		wv := make([]float64, m)
+		grng.FillNormal(wv, 0, 0.2)
+		dst := make([]float64, m)
+		mkGM := func(hooked bool) *core.GM {
+			g := core.MustNewGM(m, core.DefaultConfig(0.1))
+			if hooked {
+				r := obs.NewRegistry()
+				e := r.Histogram("bench_gm_estep_seconds", "", obs.DefLatencyBuckets)
+				ms := r.Histogram("bench_gm_mstep_seconds", "", obs.DefLatencyBuckets)
+				g.SetHooks(&core.Hooks{
+					EStep: func(d time.Duration) { e.Observe(d.Seconds()) },
+					MStep: func(d time.Duration) { ms.Observe(d.Seconds()) },
+				})
+			}
+			return g
+		}
+		plain, hooked := mkGM(false), mkGM(true)
+		rep.add("gm-grad-instrumented",
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					plain.Grad(wv, dst)
+				}
+			},
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					hooked.Grad(wv, dst)
 				}
 			})
 	}

@@ -3,7 +3,24 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 )
+
+// Hooks receives instrumentation callbacks from a GM's E/M steps. All fields
+// are optional; a nil Hooks pointer (the default) costs one predictable
+// branch per step and changes nothing else — the callbacks only ever receive
+// copies or timings, never handles that could perturb the computation.
+type Hooks struct {
+	// EStep is called after every full responsibility computation (Eq. 9)
+	// with its wall-clock duration.
+	EStep func(d time.Duration)
+	// MStep is called after every GM parameter update (Eqs. 13/17 plus
+	// merging) with its wall-clock duration.
+	MStep func(d time.Duration)
+	// Merge is called when an M-step's merge pass reduced the component
+	// count, with the counts before and after and the M-step index.
+	Merge func(fromK, toK, mStep int)
+}
 
 // GM is the adaptive Gaussian-Mixture regularizer for one parameter group
 // (e.g. one layer's weight matrix, flattened). It is stateful: Grad advances
@@ -45,6 +62,9 @@ type GM struct {
 	// Counters for instrumentation.
 	eSteps int
 	mSteps int
+
+	// hooks, when non-nil, observes E/M steps and merges (see Hooks).
+	hooks *Hooks
 }
 
 // NewGM builds a GM regularizer for a parameter group with m dimensions.
@@ -152,6 +172,29 @@ func (g *GM) Hyper() (a, b float64) { return g.a, g.b }
 // the lazy-update schedule.
 func (g *GM) Steps() (eSteps, mSteps int) { return g.eSteps, g.mSteps }
 
+// Iterations returns how many Grad calls (Algorithm 2 loop passes) have run.
+// Together with Steps it quantifies the lazy-update amortization: the
+// fraction of iterations served by the cached gradient is 1 − eSteps/it.
+func (g *GM) Iterations() int { return g.it }
+
+// SkipRatio returns the fraction of Grad iterations that reused the cached
+// regularization gradient instead of running a fresh E-step, clamped to
+// [0, 1]. Before any iteration it returns 0.
+func (g *GM) SkipRatio() float64 {
+	if g.it == 0 {
+		return 0
+	}
+	r := 1 - float64(g.eSteps)/float64(g.it)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// SetHooks installs (or, with nil, removes) instrumentation callbacks. The
+// hooks must not call back into the GM.
+func (g *GM) SetHooks(h *Hooks) { g.hooks = h }
+
 // SetBatchesPerEpoch wires B of Algorithm 2 once the trainer knows its
 // minibatch count. Trainers call this through the train.EpochAware
 // interface before the first Grad call.
@@ -169,6 +212,10 @@ func (g *GM) SetBatchesPerEpoch(b int) {
 // tool functions named in the paper (§IV).
 func (g *GM) CalResponsibility(w []float64) {
 	g.checkDim(w)
+	var t0 time.Time
+	if g.hooks != nil && g.hooks.EStep != nil {
+		t0 = time.Now()
+	}
 	k := len(g.pi)
 	logPi, logLam := g.logPi, g.logLam
 	for i := 0; i < k; i++ {
@@ -203,6 +250,9 @@ func (g *GM) CalResponsibility(w []float64) {
 		}
 	}
 	g.eSteps++
+	if g.hooks != nil && g.hooks.EStep != nil {
+		g.hooks.EStep(time.Since(t0))
+	}
 }
 
 // CalcRegGrad computes greg (Eq. 10) from the responsibilities of the most
@@ -223,6 +273,10 @@ func (g *GM) CalcRegGrad(w []float64) {
 // π (Eq. 17) given the current responsibilities, followed by component
 // merging. This is the third key tool function named in the paper (§IV).
 func (g *GM) UptGMParam() {
+	var t0 time.Time
+	if g.hooks != nil && g.hooks.MStep != nil {
+		t0 = time.Now()
+	}
 	k := len(g.pi)
 	// Eq. 13 with the Gamma-prior smoothing terms 2(a−1) and 2b.
 	for i := 0; i < k; i++ {
@@ -240,6 +294,9 @@ func (g *GM) UptGMParam() {
 	g.normalizePi()
 	g.mergeComponents()
 	g.mSteps++
+	if g.hooks != nil && g.hooks.MStep != nil {
+		g.hooks.MStep(time.Since(t0))
+	}
 }
 
 // Grad writes the regularization gradient for w into dst, advancing the
@@ -396,6 +453,7 @@ func (g *GM) mergeComponents() {
 	if g.cfg.MergeTolerance <= 0 || len(g.pi) == 1 {
 		return
 	}
+	kBefore := len(g.pi)
 	tol := g.cfg.MergeTolerance
 	merged := true
 	for merged {
@@ -419,6 +477,11 @@ func (g *GM) mergeComponents() {
 	}
 	if len(g.resp) != len(g.pi) {
 		g.allocScratch()
+	}
+	if len(g.pi) != kBefore && g.hooks != nil && g.hooks.Merge != nil {
+		// mSteps is incremented by the caller after the merge pass, so +1
+		// reports the M-step this merge belongs to.
+		g.hooks.Merge(kBefore, len(g.pi), g.mSteps+1)
 	}
 }
 

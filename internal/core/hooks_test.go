@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// twoScaleWeights builds a parameter vector with two clearly separated
+// scales so the default 4-component mixture merges during fitting.
+func twoScaleWeights(m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		if i%5 == 0 {
+			w[i] = 0.8 * float64(1+i%3)
+		} else {
+			w[i] = 0.01 * float64(1+i%7)
+		}
+		if i%2 == 0 {
+			w[i] = -w[i]
+		}
+	}
+	return w
+}
+
+func TestHooksObserveStepsAndMerges(t *testing.T) {
+	w := twoScaleWeights(600)
+	g := MustNewGM(len(w), DefaultConfig(0.1))
+	var eSteps, mSteps, merges int
+	g.SetHooks(&Hooks{
+		EStep: func(d time.Duration) {
+			if d < 0 {
+				t.Errorf("negative E-step duration %v", d)
+			}
+			eSteps++
+		},
+		MStep: func(d time.Duration) { mSteps++ },
+		Merge: func(fromK, toK, mStep int) {
+			if fromK <= toK {
+				t.Errorf("merge did not shrink: %d -> %d", fromK, toK)
+			}
+			if mStep < 1 {
+				t.Errorf("merge at non-positive M-step %d", mStep)
+			}
+			merges++
+		},
+	})
+	g.Fit(w, 60, 0)
+	gotE, gotM := g.Steps()
+	if eSteps != gotE || mSteps != gotM {
+		t.Fatalf("hooks saw %d/%d steps, counters say %d/%d", eSteps, mSteps, gotE, gotM)
+	}
+	if g.K() >= 4 && merges == 0 {
+		t.Fatalf("mixture stayed at K=%d with no merges on two-scale data", g.K())
+	}
+	if g.K() < 4 && merges == 0 {
+		t.Fatal("components merged but the Merge hook never fired")
+	}
+}
+
+// TestHooksBitIdentical runs the identical Grad sequence with and without
+// hooks installed: the learned mixture and every returned gradient must be
+// bit-identical, because instrumentation only reads.
+func TestHooksBitIdentical(t *testing.T) {
+	w := twoScaleWeights(400)
+	cfg := DefaultConfig(0.1)
+	cfg.WarmupEpochs = 1
+	cfg.RegInterval = 3
+	cfg.GMInterval = 6
+	cfg.BatchesPerEpoch = 10
+
+	run := func(withHooks bool) (*GM, [][]float64) {
+		g := MustNewGM(len(w), cfg)
+		if withHooks {
+			g.SetHooks(&Hooks{
+				EStep: func(time.Duration) {},
+				MStep: func(time.Duration) {},
+				Merge: func(int, int, int) {},
+			})
+		}
+		wv := append([]float64(nil), w...)
+		var grads [][]float64
+		dst := make([]float64, len(w))
+		for it := 0; it < 40; it++ {
+			g.Grad(wv, dst)
+			grads = append(grads, append([]float64(nil), dst...))
+			for i := range wv {
+				wv[i] -= 0.01 * dst[i] / float64(len(wv))
+			}
+		}
+		return g, grads
+	}
+
+	plain, plainGrads := run(false)
+	hooked, hookedGrads := run(true)
+	if plain.String() != hooked.String() {
+		t.Fatalf("mixtures diverged:\n%s\n%s", plain, hooked)
+	}
+	pe, pm := plain.Steps()
+	he, hm := hooked.Steps()
+	if pe != he || pm != hm {
+		t.Fatalf("step counts diverged: %d/%d vs %d/%d", pe, pm, he, hm)
+	}
+	for it := range plainGrads {
+		for i := range plainGrads[it] {
+			if plainGrads[it][i] != hookedGrads[it][i] {
+				t.Fatalf("iteration %d gradient[%d]: %v != %v",
+					it, i, plainGrads[it][i], hookedGrads[it][i])
+			}
+		}
+	}
+}
+
+func TestSkipRatio(t *testing.T) {
+	cfg := DefaultConfig(0.1)
+	cfg.WarmupEpochs = 0
+	cfg.RegInterval = 4
+	cfg.GMInterval = 4
+	cfg.BatchesPerEpoch = 100
+	w := twoScaleWeights(50)
+	g := MustNewGM(len(w), cfg)
+	dst := make([]float64, len(w))
+	for it := 0; it < 40; it++ {
+		g.Grad(w, dst)
+	}
+	// Every 4th iteration runs the E-step: skip ratio 0.75, the paper's ~4×.
+	if r := g.SkipRatio(); r != 0.75 {
+		t.Fatalf("skip ratio = %v, want 0.75", r)
+	}
+	if g.Iterations() != 40 {
+		t.Fatalf("iterations = %d, want 40", g.Iterations())
+	}
+}

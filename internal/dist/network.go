@@ -143,6 +143,7 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg NetConfig, factory re
 	defer batches.Close()
 
 	hist := &train.History{}
+	tel := train.NewTelemetry(cfg.SGD.Sink, R)
 	start := time.Now()
 	for epoch := 0; epoch < cfg.SGD.Epochs; epoch++ {
 		lr := cfg.SGD.LRAt(epoch)
@@ -170,7 +171,14 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg NetConfig, factory re
 			})
 			// Gather: canonical ascending fold, identical to the
 			// sequential trainer's shard loop.
+			var t0 time.Time
+			if tel != nil {
+				t0 = time.Now()
+			}
 			bank.Reduce(authParams, shards)
+			if tel != nil {
+				tel.AddFold(time.Since(t0))
+			}
 			var batchLoss float64
 			for s := 0; s < shards; s++ {
 				batchLoss += losses[s]
@@ -184,6 +192,7 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg NetConfig, factory re
 		meanLoss := epochLoss / float64(nBatches)
 		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
 		hist.EpochTime = append(hist.EpochTime, time.Since(start))
+		tel.Epoch(epoch, meanLoss, lr, time.Since(start), opt.Regs)
 		if cfg.SGD.AfterEpoch != nil && !cfg.SGD.AfterEpoch(epoch, meanLoss) {
 			break
 		}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	c := newCounter()
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := newGauge()
+	g.Set(3.5)
+	if v := g.Value(); v != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", v)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 3.5+8000 {
+		t.Fatalf("gauge after adds = %v, want %v", v, 3.5+8000)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.Snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if want := 0.5 + 1 + 1.5 + 3 + 100; math.Abs(sum-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	// Cumulative: ≤1 → 2 (0.5, 1), ≤2 → 3 (+1.5), ≤4 → 4 (+3), +Inf → 5.
+	for i, want := range []uint64{2, 3, 4, 5} {
+		if cum[i] != want {
+			t.Fatalf("cum[%d] = %d, want %d (cum %v)", i, cum[i], want, cum)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(ExpBuckets(1e-4, 2.5, 10))
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g%4) * 1e-3)
+			}
+		}()
+	}
+	wg.Wait()
+	_, count, _ := h.Snapshot()
+	if count != goroutines*per {
+		t.Fatalf("count = %d, want %d", count, goroutines*per)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("gmreg_test_total", "help", L("model", "x"))
+	b := r.Counter("gmreg_test_total", "help", L("model", "x"))
+	if a != b {
+		t.Fatal("same series should return the same counter")
+	}
+	c := r.Counter("gmreg_test_total", "help", L("model", "y"))
+	if a == c {
+		t.Fatal("different label sets must be distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch should panic")
+		}
+	}()
+	r.Gauge("gmreg_test_total", "help")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gmreg_requests_total", "requests", L("model", "m1")).Add(7)
+	r.Gauge("gmreg_queue_depth", "queued").Set(3)
+	r.Histogram("gmreg_latency_seconds", "latency", []float64{0.1, 1}).Observe(0.5)
+	r.GaugeFunc("gmreg_arena_hits", "hits", func() float64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gmreg_requests_total counter",
+		`gmreg_requests_total{model="m1"} 7`,
+		"# TYPE gmreg_queue_depth gauge",
+		"gmreg_queue_depth 3",
+		"# TYPE gmreg_latency_seconds histogram",
+		`gmreg_latency_seconds_bucket{le="0.1"} 0`,
+		`gmreg_latency_seconds_bucket{le="1"} 1`,
+		`gmreg_latency_seconds_bucket{le="+Inf"} 1`,
+		"gmreg_latency_seconds_sum 0.5",
+		"gmreg_latency_seconds_count 1",
+		"gmreg_arena_hits 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScrapeDuringWrites drives writers and scrapers concurrently: the race
+// detector guards the synchronization; the assertions guard monotonicity
+// (no scrape may observe a torn or decreasing counter).
+func TestScrapeDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gmreg_torn_total", "monotone")
+	h := r.Histogram("gmreg_torn_seconds", "monotone", []float64{1})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.5)
+				}
+			}
+		}()
+	}
+	var last uint64
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		v := c.Value()
+		if v < last {
+			t.Fatalf("counter went backwards: %d after %d", v, last)
+		}
+		last = v
+	}
+	close(done)
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+// Package obs is the observability layer: a zero-dependency (stdlib-only)
+// metrics subsystem — counters, gauges and histograms built from lock-striped
+// atomic cells, exported in the Prometheus text format — plus a typed event
+// stream (Sink) for structured training telemetry.
+//
+// The package sits below every other internal package (it imports nothing
+// from the repo), so any layer can report into it: core's GM emits E/M-step
+// timings and component-merge events through core.Hooks, train/dist emit
+// per-epoch telemetry events, tensor exposes arena and worker-pool counters
+// that serve registers as scrape-time functions, and serve records request
+// latency, micro-batch sizes and queue depth around the predictor.
+//
+// Design rules, in order:
+//
+//  1. The hot path must stay hot. Counter.Add and Histogram.Observe are a
+//     handful of atomic operations on cache-line-padded cells striped per
+//     goroutine stack, so concurrent writers (the PR-1 worker pool, the
+//     predictor executors) do not bounce a shared line. No allocation, no
+//     locks, no map lookups: callers resolve metric handles once at
+//     construction time.
+//  2. Disabled must mean bit-identical. Instrumentation only ever reads and
+//     copies training state; emitting to Discard (or leaving hooks nil)
+//     cannot change a single bit of the computation.
+//  3. Scrapes never block writers. WritePrometheus walks the registry under
+//     a read lock that only excludes metric registration, not Add/Observe.
+//
+// The canonical metric names are listed in DESIGN.md §10 (the metric name
+// registry); all of them share the gmreg_ prefix.
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLine is the assumed cache-line size for padding. 64 bytes is correct
+// for every platform this repo targets; on others padding is merely bigger
+// than needed.
+const cacheLine = 64
+
+// cell is one cache-line-padded atomic counter. A []cell places each stripe
+// on its own line so concurrent Adds from different goroutines don't falsely
+// share.
+type cell struct {
+	n atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// numStripes is the process-wide stripe count: the smallest power of two
+// covering GOMAXPROCS at package init, capped so metric memory stays small.
+var numStripes = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}()
+
+// stripe picks this goroutine's stripe from the address of a stack variable:
+// goroutine stacks are disjoint, so distinct goroutines land on distinct
+// (well-distributed) indices, while one goroutine keeps hitting the same
+// cell. The pointer is only ever converted to an integer, never back.
+func stripe() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>9) & (numStripes - 1)
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricKind discriminates the exposition type of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one registered time series: a concrete metric or a scrape-time
+// function, identified by family name + label set.
+type series struct {
+	name   string
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	// fn is a scrape-time callback for *Func series; for counter-typed
+	// functions it must be monotone. Replaceable (mu-protected) so a fresh
+	// component can re-register its collector under the same identity.
+	fn func() float64
+}
+
+// family groups the series sharing a metric name; HELP/TYPE are emitted once.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// format. Registration (Counter, Gauge, …) is get-or-create keyed by name +
+// label set, so two callers asking for the same series share the same cells;
+// asking for an existing name with a different type panics. Registration
+// takes a lock; using the returned handles never does.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]*family{}} }
+
+// Default is the process-wide registry: the gmreg commands and the serve
+// layer register into it unless configured otherwise.
+var Default = NewRegistry()
+
+// labelsKey renders a label set canonically (sorted by name).
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	return b.String()
+}
+
+// lookup finds or creates the family and returns the existing series with
+// the same label set, if any.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) (*family, *series) {
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := labelsKey(labels)
+	for _, s := range f.series {
+		if labelsKey(s.labels) == key {
+			return f, s
+		}
+	}
+	return f, nil
+}
+
+// Counter returns the counter series name{labels}, creating it if needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindCounter, labels)
+	if s == nil {
+		s = &series{name: name, labels: labels, counter: newCounter()}
+		f.series = append(f.series, s)
+	}
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: counter %q{%s} already registered as a function", name, labelsKey(labels)))
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge series name{labels}, creating it if needed.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindGauge, labels)
+	if s == nil {
+		s = &series{name: name, labels: labels, gauge: newGauge()}
+		f.series = append(f.series, s)
+	}
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: gauge %q{%s} already registered as a function", name, labelsKey(labels)))
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram series name{labels} with the given bucket
+// bounds, creating it if needed (an existing series keeps its bounds).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindHistogram, labels)
+	if s == nil {
+		s = &series{name: name, labels: labels, hist: newHistogram(bounds)}
+		f.series = append(f.series, s)
+	}
+	return s.hist
+}
+
+// CounterFunc registers (or replaces) a scrape-time counter read from fn;
+// fn must be monotone and safe to call concurrently with anything.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, kindCounter, fn, labels)
+}
+
+// GaugeFunc registers (or replaces) a scrape-time gauge read from fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.registerFunc(name, help, kindGauge, fn, labels)
+}
+
+func (r *Registry) registerFunc(name, help string, kind metricKind, fn func() float64, labels []Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kind, labels)
+	if s == nil {
+		s = &series{name: name, labels: labels}
+		f.series = append(f.series, s)
+	}
+	if s.counter != nil || s.gauge != nil {
+		panic(fmt.Sprintf("obs: %s %q{%s} already registered as a concrete metric", kind, name, labelsKey(labels)))
+	}
+	s.fn = fn
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4). Concurrent Add/Observe calls proceed untouched;
+// only registration is excluded during the walk.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	for _, f := range r.families {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			writeSeries(&b, f, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, f *family, s *series) {
+	switch {
+	case s.hist != nil:
+		cum, count, sum := s.hist.Snapshot()
+		for i, ub := range s.hist.Bounds() {
+			writeSample(b, s.name+"_bucket", append(append([]Label(nil), s.labels...),
+				Label{"le", formatFloat(ub)}), float64(cum[i]))
+		}
+		writeSample(b, s.name+"_bucket", append(append([]Label(nil), s.labels...),
+			Label{"le", "+Inf"}), float64(count))
+		writeSample(b, s.name+"_sum", s.labels, sum)
+		writeSample(b, s.name+"_count", s.labels, float64(count))
+	case s.counter != nil:
+		writeSample(b, s.name, s.labels, float64(s.counter.Value()))
+	case s.gauge != nil:
+		writeSample(b, s.name, s.labels, s.gauge.Value())
+	case s.fn != nil:
+		writeSample(b, s.name, s.labels, s.fn())
+	}
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteByte('=')
+			b.WriteString(strconv.Quote(l.Value))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured telemetry record. Implementations are plain
+// JSON-marshalable structs; Kind discriminates them in serialized streams.
+type Event interface {
+	Kind() string
+}
+
+// Sink receives telemetry events. Implementations must be safe for
+// concurrent Emit calls. Emitting must never influence the computation being
+// observed: trainers produce bit-identical results whether their sink is
+// nil, Discard, or a live JSONL writer.
+type Sink interface {
+	Emit(Event)
+}
+
+// Discard is the no-op sink: instrumentation stays wired but every event is
+// dropped without inspection.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) Emit(Event) {}
+
+// Epoch summarizes one training epoch — the per-epoch loss/LR/time series
+// the paper's Figs. 5–7 are built from, plus the runtime counters that show
+// where the wall time went.
+type Epoch struct {
+	// Epoch is the 0-based epoch index.
+	Epoch int `json:"epoch"`
+	// Loss is the epoch's mean training loss (data misfit only).
+	Loss float64 `json:"loss"`
+	// LR is the scheduled learning rate this epoch trained with.
+	LR float64 `json:"lr"`
+	// ElapsedSec is cumulative wall time since training started.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Replicas is the data-parallel width (0 for sequential trainers).
+	Replicas int `json:"replicas,omitempty"`
+	// FoldSec is this epoch's cumulative gradient-fold (all-reduce) time;
+	// only the data-parallel trainer reports it.
+	FoldSec float64 `json:"fold_sec,omitempty"`
+	// ArenaGets/ArenaMisses are this epoch's tensor-arena traffic: Get calls
+	// and the subset that had to allocate. Their ratio is the arena hit rate.
+	ArenaGets   int64 `json:"arena_gets,omitempty"`
+	ArenaMisses int64 `json:"arena_misses,omitempty"`
+	// PoolJobs/PoolChunks are this epoch's worker-pool fan-outs and executed
+	// chunks; chunks/jobs approximates pool occupancy.
+	PoolJobs   int64 `json:"pool_jobs,omitempty"`
+	PoolChunks int64 `json:"pool_chunks,omitempty"`
+}
+
+// Kind implements Event.
+func (Epoch) Kind() string { return "epoch" }
+
+// GMState is a per-epoch snapshot of one parameter group's learned mixture —
+// the π/λ trajectories of Tables IV–V and the lazy-update amortization of
+// Figs. 5–6, observable while the job runs instead of after it.
+type GMState struct {
+	// Group names the parameter group (e.g. "conv1/weight").
+	Group string `json:"group"`
+	// Epoch is the 0-based epoch index the snapshot was taken after.
+	Epoch int `json:"epoch"`
+	// K is the current component count (after merging).
+	K int `json:"k"`
+	// Pi and Lambda are the current mixing coefficients and precisions.
+	Pi     []float64 `json:"pi"`
+	Lambda []float64 `json:"lambda"`
+	// ESteps and MSteps count full E/M updates so far; Iterations counts
+	// Grad calls (Algorithm 2 loop passes).
+	ESteps     int `json:"e_steps"`
+	MSteps     int `json:"m_steps"`
+	Iterations int `json:"iterations"`
+	// SkipRatio is the fraction of iterations served by the cached greg
+	// instead of a fresh E-step — the lazy-update amortization (≈ 1 − 1/Im
+	// after warm-up; the paper's ~4× cost cut shows as ≈ 0.75+).
+	SkipRatio float64 `json:"skip_ratio"`
+}
+
+// Kind implements Event.
+func (GMState) Kind() string { return "gm" }
+
+// Merge records one component merge inside a GM — the mixture collapsing
+// toward the 1–2 components the paper observes at convergence.
+type Merge struct {
+	// Group identifies the GM; factories that don't know layer names label
+	// groups by creation order ("g0", "g1", …), which matches network
+	// parameter order.
+	Group string `json:"group"`
+	// FromK and ToK are the component counts around the merge.
+	FromK int `json:"from_k"`
+	ToK   int `json:"to_k"`
+	// MStep is the M-step count at which the merge happened.
+	MStep int `json:"m_step"`
+}
+
+// Kind implements Event.
+func (Merge) Kind() string { return "merge" }
+
+// Swap records a serving checkpoint change (first load, new version, pin).
+type Swap struct {
+	Model string `json:"model"`
+	Seq   int    `json:"seq"`
+	Hash  string `json:"hash"`
+}
+
+// Kind implements Event.
+func (Swap) Kind() string { return "swap" }
+
+// record is the JSONL envelope: kind + wall-clock time + the event payload.
+type record struct {
+	Kind string    `json:"kind"`
+	Time time.Time `json:"time"`
+	Data Event     `json:"data"`
+}
+
+// JSONL writes events as JSON Lines — one {"kind","time","data"} object per
+// line — through an internal buffer. Emit is mutex-serialized; events that
+// fail to marshal are dropped (telemetry must never abort training).
+type JSONL struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	c   io.Closer
+}
+
+// NewJSONL wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{buf: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(e Event) {
+	line, err := json.Marshal(record{Kind: e.Kind(), Time: time.Now().UTC(), Data: e})
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	j.buf.Write(line)
+	j.buf.WriteByte('\n')
+	j.mu.Unlock()
+}
+
+// Flush forces buffered lines out.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.buf.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *JSONL) Close() error {
+	if err := j.Flush(); err != nil {
+		return err
+	}
+	if j.c != nil {
+		return j.c.Close()
+	}
+	return nil
+}
+
+// Tee fans one event stream out to several sinks.
+func Tee(sinks ...Sink) Sink { return tee(sinks) }
+
+type tee []Sink
+
+func (t tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(Epoch{Epoch: 0, Loss: 0.5, LR: 0.1, ElapsedSec: 1.25})
+	j.Emit(GMState{Group: "weights", Epoch: 0, K: 2, Pi: []float64{0.3, 0.7},
+		Lambda: []float64{1, 30}, ESteps: 10, MSteps: 10, Iterations: 10})
+	j.Emit(Merge{Group: "g0", FromK: 4, ToK: 3, MStep: 12})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	wantKinds := []string{"epoch", "gm", "merge"}
+	for i, line := range lines {
+		var rec struct {
+			Kind string          `json:"kind"`
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		if rec.Kind != wantKinds[i] {
+			t.Fatalf("line %d kind = %q, want %q", i, rec.Kind, wantKinds[i])
+		}
+	}
+	// The GM snapshot must carry the acceptance fields: π, λ, k, skip ratio.
+	var gm struct {
+		K      int       `json:"k"`
+		Pi     []float64 `json:"pi"`
+		Lambda []float64 `json:"lambda"`
+	}
+	var rec struct {
+		Data json.RawMessage `json:"data"`
+	}
+	json.Unmarshal([]byte(lines[1]), &rec)
+	if err := json.Unmarshal(rec.Data, &gm); err != nil {
+		t.Fatal(err)
+	}
+	if gm.K != 2 || len(gm.Pi) != 2 || len(gm.Lambda) != 2 {
+		t.Fatalf("gm snapshot mangled: %+v", gm)
+	}
+}
+
+func TestJSONLConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for e := 0; e < 100; e++ {
+				j.Emit(Epoch{Epoch: e, Loss: float64(i)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved write produced invalid JSON: %s", line)
+		}
+	}
+}
+
+func TestTeeAndDiscard(t *testing.T) {
+	var a, b bytes.Buffer
+	ja, jb := NewJSONL(&a), NewJSONL(&b)
+	s := Tee(ja, Discard, jb)
+	s.Emit(Swap{Model: "m", Seq: 2, Hash: "abc"})
+	ja.Flush()
+	jb.Flush()
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Fatal("tee did not reach all sinks")
+	}
+}

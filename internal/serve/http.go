@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gmreg/internal/obs"
 	"gmreg/internal/store"
 )
 
@@ -23,6 +25,13 @@ type ServerConfig struct {
 	// RequestTimeout bounds one /predict end to end (queue wait included).
 	// Defaults to 5s.
 	RequestTimeout time.Duration
+	// Metrics is the registry the server's series are registered in and the
+	// one GET /metrics renders. Defaults to obs.Default; tests that run
+	// several servers in one process should pass fresh registries.
+	Metrics *obs.Registry
+	// Sink, when non-nil, receives an obs.Swap event for every checkpoint
+	// version installed (first load included).
+	Sink obs.Sink
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -32,6 +41,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default
 	}
 	return c
 }
@@ -46,14 +58,16 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // It subscribes to registry swaps, creating or hot-swapping a predictor per
 // model key.
 type Server struct {
-	reg   *Registry
-	cfg   ServerConfig
-	sem   chan struct{} // load-shedding middleware tokens
-	start time.Time
+	reg      *Registry
+	cfg      ServerConfig
+	sem      chan struct{} // load-shedding middleware tokens
+	start    time.Time
+	httpShed atomic.Int64 // 503s issued by the inflight limiter
 
 	mu    sync.RWMutex
 	preds map[string]*Predictor
-	perr  map[string]string // key → last predictor build/swap error
+	perr  map[string]string     // key → last predictor build/swap error
+	inst  map[string]*modelInst // key → per-model metric handles
 }
 
 // NewServer wires a server to reg. Call reg.Refresh (or start a watcher)
@@ -67,7 +81,9 @@ func NewServer(reg *Registry, cfg ServerConfig) *Server {
 		start: time.Now(),
 		preds: map[string]*Predictor{},
 		perr:  map[string]string{},
+		inst:  map[string]*modelInst{},
 	}
+	registerProcessMetrics(cfg.Metrics, s)
 	reg.OnSwap(s.onSwap)
 	return s
 }
@@ -83,14 +99,23 @@ func (s *Server) onSwap(m *Model) {
 			return
 		}
 	} else {
-		p, err := NewPredictor(m, s.cfg.Predictor)
+		pc := s.cfg.Predictor
+		pc.BatchSizes = s.cfg.Metrics.Histogram("gmreg_serve_batch_size",
+			"Requests coalesced into one forward pass.",
+			batchSizeBuckets, obs.L("model", m.Key))
+		p, err := NewPredictor(m, pc)
 		if err != nil {
 			s.perr[m.Key] = err.Error()
 			return
 		}
 		s.preds[m.Key] = p
+		s.inst[m.Key] = instrumentModel(s.cfg.Metrics, m.Key, p)
 	}
 	delete(s.perr, m.Key)
+	s.inst[m.Key].swaps.Inc()
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(obs.Swap{Model: m.Key, Seq: m.Version.Seq, Hash: m.Version.Hash})
+	}
 }
 
 // predictor resolves a model name; an empty name is allowed when exactly one
@@ -133,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("POST /swap", s.handleSwap)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.cfg.Metrics.Handler())
 	return mux
 }
 
@@ -145,6 +171,7 @@ func (s *Server) shed(next http.Handler) http.Handler {
 			defer func() { <-s.sem }()
 			next.ServeHTTP(w, r)
 		default:
+			s.httpShed.Add(1)
 			writeError(w, http.StatusServiceUnavailable, "server overloaded")
 		}
 	})
@@ -182,9 +209,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	s.mu.RLock()
+	inst := s.inst[name]
+	s.mu.RUnlock()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	t0 := time.Now()
 	res, err := p.Predict(ctx, req.Features)
+	if inst != nil {
+		inst.latency.Observe(time.Since(t0).Seconds())
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):

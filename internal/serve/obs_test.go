@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"gmreg/internal/obs"
+	"gmreg/internal/store"
+)
+
+// scrapeValue fetches /metrics and returns the value of the sample whose
+// line starts with prefix (family name plus rendered labels).
+func scrapeValue(t *testing.T, url, prefix string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// TestMetricsScrapeDuringSwapRace hammers /metrics from concurrent scrapers
+// while predictions flow and the served checkpoint is swapped back and forth
+// between versions. Run under -race this proves a scrape never touches
+// predictor or registry state unsynchronized; the monotonicity assertion
+// proves scrapes never observe torn or rolled-back counters mid-swap.
+func TestMetricsScrapeDuringSwapRace(t *testing.T) {
+	st := store.New()
+	c1, c2 := makeCheckpoint(t, 1), makeCheckpoint(t, 2)
+	for _, c := range []*Checkpoint{c1, c2} {
+		if _, err := PutCheckpoint(st, "mlp", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry(st)
+	srv := NewServer(reg, ServerConfig{
+		Predictor: Config{Replicas: 2, MaxBatch: 4},
+		Metrics:   obs.NewRegistry(),
+	})
+	reg.Refresh()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+
+	// Swapper: pin v1 ↔ v2 as fast as the registry allows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ctx.Err() == nil; i++ {
+			if _, err := reg.Pin("mlp", 1+i%2); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Predictors: keep requests flowing through the micro-batcher.
+	x := testInputs(1)[0]
+	body := func() io.Reader {
+		var b strings.Builder
+		b.WriteString(`{"model":"mlp","features":[`)
+		for i, v := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteString("]}")
+		return strings.NewReader(b.String())
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				resp, err := http.Post(ts.URL+"/predict", "application/json", body())
+				if err != nil {
+					if !errors.Is(err, context.Canceled) {
+						t.Error(err)
+					}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Scrapers: requests_total must be monotone across scrapes no matter
+	// how many swaps happen between them. The fixed scrape count bounds the
+	// test's duration; the load goroutines stop once the scrapers are done.
+	const scrapes = 60
+	var scrapers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			var last float64
+			for i := 0; i < scrapes; i++ {
+				v, ok := scrapeValue(t, ts.URL, `gmreg_serve_requests_total{model="mlp"}`)
+				if !ok {
+					t.Error("gmreg_serve_requests_total{model=\"mlp\"} missing from scrape")
+					return
+				}
+				if v < last {
+					t.Errorf("requests counter went backwards: %v after %v", v, last)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	scrapers.Wait()
+	cancel()
+	wg.Wait()
+
+	// After the dust settles the swap counter must have counted every pin
+	// plus the initial load.
+	v, ok := scrapeValue(t, ts.URL, `gmreg_serve_swaps_total{model="mlp"}`)
+	if !ok || v < 2 {
+		t.Fatalf("swap counter = %v (present=%v), want ≥ 2", v, ok)
+	}
+}
+
+// TestSwapEventsEmitted wires a sink into the server and checks every
+// installed version produces one swap event.
+func TestSwapEventsEmitted(t *testing.T) {
+	st := store.New()
+	if _, err := PutCheckpoint(st, "mlp", makeCheckpoint(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []obs.Event
+	sink := sinkFunc(func(e obs.Event) { mu.Lock(); got = append(got, e); mu.Unlock() })
+	reg := NewRegistry(st)
+	srv := NewServer(reg, ServerConfig{
+		Predictor: Config{Replicas: 1},
+		Metrics:   obs.NewRegistry(),
+		Sink:      sink,
+	})
+	defer srv.Close()
+	reg.Refresh()
+	if _, err := PutCheckpoint(st, "mlp", makeCheckpoint(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	reg.Refresh()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("got %d swap events, want 2", len(got))
+	}
+	for i, e := range got {
+		sw, ok := e.(obs.Swap)
+		if !ok || sw.Model != "mlp" || sw.Seq != i+1 || sw.Hash == "" {
+			t.Fatalf("event %d = %#v, want Swap{mlp, %d, <hash>}", i, e, i+1)
+		}
+	}
+}
+
+type sinkFunc func(obs.Event)
+
+func (f sinkFunc) Emit(e obs.Event) { f(e) }

@@ -13,6 +13,7 @@ import (
 
 	"gmreg/internal/models"
 	"gmreg/internal/nn"
+	"gmreg/internal/obs"
 	"gmreg/internal/store"
 	"gmreg/internal/tensor"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	// QueueCap bounds the admission queue; requests beyond it fast-fail
 	// with ErrOverloaded. Defaults to 8×MaxBatch.
 	QueueCap int
+	// BatchSizes, when non-nil, receives one observation per executed
+	// forward pass: the number of requests the pass coalesced. The server
+	// wires this to the gmreg_serve_batch_size{model} histogram.
+	BatchSizes *obs.Histogram
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +174,10 @@ func (p *Predictor) Version() store.Version { return p.pool.Load().version }
 func (p *Predictor) Stats() Stats {
 	return Stats{Requests: p.nreq.Load(), Forwards: p.nfwd.Load(), Shed: p.nshed.Load()}
 }
+
+// QueueDepth returns the number of admitted requests not yet taken by a
+// batch executor — a scrape-time backlog signal.
+func (p *Predictor) QueueDepth() int { return len(p.queue) }
 
 // Predict enqueues one sample and blocks until its batch executes, ctx
 // expires, or the queue is full (ErrOverloaded, immediately). features must
@@ -320,6 +329,9 @@ func (p *Predictor) execute(batch []*request) {
 	rs.replicas <- net
 	tensor.DefaultArena.Put(in)
 	p.nfwd.Add(1)
+	if p.cfg.BatchSizes != nil {
+		p.cfg.BatchSizes.Observe(float64(n))
+	}
 	for i, req := range batch {
 		req.done <- response{res: results[i]}
 	}

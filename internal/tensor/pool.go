@@ -3,6 +3,7 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Arena is a size-bucketed free list of tensors used to keep the training
@@ -22,6 +23,37 @@ type Arena struct {
 	// wrappers recycles the *Tensor headers that GetSlice strips off and
 	// PutSlice needs, so the slice API is allocation-free too.
 	wrappers sync.Pool
+
+	// Always-on traffic counters (atomic; a few ns per Get, far below any
+	// buffer's fill cost). The observability layer exports them as
+	// gmreg_arena_* series via Stats.
+	gets, misses, oversized, puts atomic.Int64
+}
+
+// ArenaStats is a snapshot of an arena's cumulative traffic. The hit rate is
+// (Gets − Misses − Oversized) / Gets; a low rate after warm-up means the
+// GC emptied the buckets between steps or callers churn through distinct
+// size classes.
+type ArenaStats struct {
+	// Gets counts Get/GetZeroed/GetSlice calls.
+	Gets int64
+	// Misses counts Gets that had to allocate a fresh backing slice.
+	Misses int64
+	// Oversized counts Gets beyond the largest size class (always allocate).
+	Oversized int64
+	// Puts counts buffers returned.
+	Puts int64
+}
+
+// Stats returns the cumulative counters. Concurrent traffic lands in this
+// snapshot or the next; each field is individually consistent.
+func (a *Arena) Stats() ArenaStats {
+	return ArenaStats{
+		Gets:      a.gets.Load(),
+		Misses:    a.misses.Load(),
+		Oversized: a.oversized.Load(),
+		Puts:      a.puts.Load(),
+	}
 }
 
 // arenaClasses covers element counts up to 2^arenaClasses-1; class i holds
@@ -52,17 +84,20 @@ func (a *Arena) Get(shape ...int) *Tensor {
 		}
 		n *= d
 	}
+	a.gets.Add(1)
 	c := sizeClass(n)
 	if c >= arenaClasses {
 		// Oversized request: bypass the buckets entirely rather than
 		// rounding up to a power-of-two capacity twice the ask. Put will
 		// still accept the buffer back into the largest class.
+		a.oversized.Add(1)
 		return &Tensor{Data: make([]float64, n), Shape: append([]int(nil), shape...)}
 	}
 	t, _ := a.buckets[c].Get().(*Tensor)
 	if t == nil {
 		// Allocate the full class capacity so the buffer can serve any
 		// request in this class when it comes back.
+		a.misses.Add(1)
 		t = &Tensor{Data: make([]float64, 1<<c)}
 	}
 	t.Data = t.Data[:n]
@@ -83,6 +118,7 @@ func (a *Arena) Put(t *Tensor) {
 	if t == nil || cap(t.Data) == 0 {
 		return
 	}
+	a.puts.Add(1)
 	c := bits.Len(uint(cap(t.Data))) - 1 // floor log2: capacity >= 2^c
 	if c >= arenaClasses {
 		c = arenaClasses - 1

@@ -96,8 +96,38 @@ type WorkerPool struct {
 	// including the submitter. 0 means GOMAXPROCS at first use.
 	Size int
 
-	once  sync.Once
-	tasks chan *rangeJob
+	once    sync.Once
+	tasks   chan *rangeJob
+	started atomic.Bool // set after tasks exists; orders QueueDepth reads
+
+	// Fan-out counters (atomic, touched only on the submit path — never on
+	// serial Parallel calls, whose per-op cost the extra add would distort).
+	jobs, chunks int64
+}
+
+// PoolStats is a snapshot of a pool's cumulative fan-out activity.
+// Chunks/Jobs is the mean partition width — how much concurrency each
+// fan-out actually exposed.
+type PoolStats struct {
+	// Jobs counts Parallel/Each invocations that fanned out (serial runs
+	// are not counted).
+	Jobs int64
+	// Chunks counts chunks executed across all fanned-out jobs.
+	Chunks int64
+}
+
+// Stats returns the cumulative fan-out counters.
+func (p *WorkerPool) Stats() PoolStats {
+	return PoolStats{Jobs: atomic.LoadInt64(&p.jobs), Chunks: atomic.LoadInt64(&p.chunks)}
+}
+
+// QueueDepth returns the number of posted jobs not yet picked up by a
+// worker — a scrape-time occupancy signal (0 when the pool is keeping up).
+func (p *WorkerPool) QueueDepth() int {
+	if !p.started.Load() {
+		return 0
+	}
+	return len(p.tasks)
 }
 
 // width is the effective pool size. It reads only the immutable Size
@@ -151,6 +181,7 @@ func (p *WorkerPool) start() {
 				}
 			}()
 		}
+		p.started.Store(true)
 	})
 }
 
@@ -191,6 +222,8 @@ func (p *WorkerPool) ParallelIndexed(n int, f func(chunk, lo, hi int)) {
 // submit posts a job, helps run it, and waits for every chunk to finish.
 func (p *WorkerPool) submit(j *rangeJob) {
 	p.start()
+	atomic.AddInt64(&p.jobs, 1)
+	atomic.AddInt64(&p.chunks, int64(j.chunks))
 	j.wg.Add(j.chunks)
 	// Invite helpers without ever blocking: if the queue is full the
 	// submitter simply runs more chunks itself. There is no point inviting

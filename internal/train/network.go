@@ -66,6 +66,7 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory re
 	defer batches.Close()
 
 	hist := &History{}
+	tel := NewTelemetry(cfg.Sink, 0)
 	start := time.Now()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.lrAt(epoch)
@@ -94,7 +95,14 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory re
 					net.Backward(dl)
 					bank.Capture(s, opt.Params)
 				}
+				var t0 time.Time
+				if tel != nil {
+					t0 = time.Now()
+				}
 				bank.Reduce(opt.Params, shards)
+				if tel != nil {
+					tel.AddFold(time.Since(t0))
+				}
 			}
 			epochLoss += batchLoss
 			opt.Step(lr, cfg.Momentum)
@@ -102,6 +110,7 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory re
 		meanLoss := epochLoss / float64(nBatches)
 		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
 		hist.EpochTime = append(hist.EpochTime, time.Since(start))
+		tel.Epoch(epoch, meanLoss, lr, time.Since(start), opt.Regs)
 		if cfg.AfterEpoch != nil && !cfg.AfterEpoch(epoch, meanLoss) {
 			break
 		}

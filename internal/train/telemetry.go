@@ -1,0 +1,97 @@
+package train
+
+import (
+	"sort"
+	"time"
+
+	"gmreg/internal/core"
+	"gmreg/internal/obs"
+	"gmreg/internal/reg"
+	"gmreg/internal/tensor"
+)
+
+// Telemetry drives per-epoch event emission for the trainers: one
+// obs.Epoch summary plus one obs.GMState snapshot per adaptive regularizer,
+// in sorted group order so JSONL streams are reproducible. It also converts
+// the process-wide arena/pool counters into per-epoch deltas.
+//
+// Emission only reads training state (and copies the mixture slices), so a
+// run with a sink is bit-identical to a run without one. A Telemetry built
+// from a nil sink is itself nil, and every method on a nil receiver is a
+// no-op — trainers call unconditionally.
+type Telemetry struct {
+	sink     obs.Sink
+	replicas int
+	arena    tensor.ArenaStats
+	pool     tensor.PoolStats
+	fold     time.Duration
+}
+
+// NewTelemetry wires a per-epoch emitter for a trainer with the given
+// data-parallel width (0 = sequential). A nil sink returns nil.
+func NewTelemetry(sink obs.Sink, replicas int) *Telemetry {
+	if sink == nil {
+		return nil
+	}
+	return &Telemetry{
+		sink:     sink,
+		replicas: replicas,
+		arena:    tensor.DefaultArena.Stats(),
+		pool:     tensor.Pool().Stats(),
+	}
+}
+
+// AddFold accumulates gradient-fold (all-reduce) time into the current
+// epoch's total.
+func (t *Telemetry) AddFold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.fold += d
+}
+
+// Epoch emits the epoch summary and one mixture snapshot per GM
+// regularizer, then resets the per-epoch deltas.
+func (t *Telemetry) Epoch(epoch int, loss, lr float64, elapsed time.Duration, regs map[string]reg.Regularizer) {
+	if t == nil {
+		return
+	}
+	arena, pool := tensor.DefaultArena.Stats(), tensor.Pool().Stats()
+	t.sink.Emit(obs.Epoch{
+		Epoch:       epoch,
+		Loss:        loss,
+		LR:          lr,
+		ElapsedSec:  elapsed.Seconds(),
+		Replicas:    t.replicas,
+		FoldSec:     t.fold.Seconds(),
+		ArenaGets:   arena.Gets - t.arena.Gets,
+		ArenaMisses: arena.Misses - t.arena.Misses,
+		PoolJobs:    pool.Jobs - t.pool.Jobs,
+		PoolChunks:  pool.Chunks - t.pool.Chunks,
+	})
+	t.arena, t.pool, t.fold = arena, pool, 0
+
+	names := make([]string, 0, len(regs))
+	for name := range regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := regs[name].(*core.GM)
+		if !ok {
+			continue
+		}
+		e, m := g.Steps()
+		t.sink.Emit(obs.GMState{
+			Group:      name,
+			Epoch:      epoch,
+			K:          g.K(),
+			Pi:         g.Pi(),
+			Lambda:     g.Lambda(),
+			ESteps:     e,
+			MSteps:     m,
+			Iterations: g.Iterations(),
+			SkipRatio:  g.SkipRatio(),
+		})
+	}
+}

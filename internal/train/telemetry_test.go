@@ -1,0 +1,126 @@
+package train
+
+import (
+	"sync"
+	"testing"
+
+	"gmreg/internal/data"
+	"gmreg/internal/obs"
+)
+
+// collectSink records every event in order.
+type collectSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *collectSink) Emit(e obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// TestSinkBitIdenticalTraining trains the same LogReg job three times — no
+// sink, obs.Discard, and a live collecting sink — and requires bit-identical
+// weights and loss history: telemetry must only observe.
+func TestSinkBitIdenticalTraining(t *testing.T) {
+	task, err := data.LoadUCI("climate-model", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	run := func(sink obs.Sink) *LogRegResult {
+		cfg := smallCfg()
+		cfg.Epochs = 12
+		cfg.Sink = sink
+		res, err := LogReg(task, rows, cfg, gmFactory(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	for name, sink := range map[string]obs.Sink{
+		"discard": obs.Discard,
+		"live":    &collectSink{},
+	} {
+		got := run(sink)
+		for i := range base.Model.W {
+			if got.Model.W[i] != base.Model.W[i] {
+				t.Fatalf("%s sink: weight[%d] = %v, want %v (training diverged)",
+					name, i, got.Model.W[i], base.Model.W[i])
+			}
+		}
+		if got.Model.B != base.Model.B {
+			t.Fatalf("%s sink: bias diverged", name)
+		}
+		for e := range base.History.EpochLoss {
+			if got.History.EpochLoss[e] != base.History.EpochLoss[e] {
+				t.Fatalf("%s sink: epoch %d loss diverged", name, e)
+			}
+		}
+	}
+}
+
+// TestTelemetryEventStream checks the shape of the emitted stream: one epoch
+// record per epoch, each followed by a GM snapshot for the "weights" group
+// with a sane mixture.
+func TestTelemetryEventStream(t *testing.T) {
+	task, err := data.LoadUCI("climate-model", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	sink := &collectSink{}
+	cfg := smallCfg()
+	cfg.Epochs = 5
+	cfg.Sink = sink
+	if _, err := LogReg(task, rows, cfg, gmFactory(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	var epochs []obs.Epoch
+	var gms []obs.GMState
+	for _, e := range sink.events {
+		switch ev := e.(type) {
+		case obs.Epoch:
+			epochs = append(epochs, ev)
+		case obs.GMState:
+			gms = append(gms, ev)
+		}
+	}
+	if len(epochs) != cfg.Epochs || len(gms) != cfg.Epochs {
+		t.Fatalf("got %d epoch / %d gm events, want %d each", len(epochs), len(gms), cfg.Epochs)
+	}
+	for i, ev := range epochs {
+		if ev.Epoch != i {
+			t.Fatalf("epoch event %d has index %d", i, ev.Epoch)
+		}
+		if ev.Loss <= 0 || ev.LR != cfg.LearningRate {
+			t.Fatalf("epoch %d: loss=%v lr=%v", i, ev.Loss, ev.LR)
+		}
+	}
+	last := gms[len(gms)-1]
+	if last.Group != "weights" || last.K < 1 || len(last.Pi) != last.K || len(last.Lambda) != last.K {
+		t.Fatalf("bad GM snapshot: %+v", last)
+	}
+	if last.SkipRatio < 0 || last.SkipRatio > 1 {
+		t.Fatalf("skip ratio %v out of [0,1]", last.SkipRatio)
+	}
+	if last.Iterations == 0 || last.ESteps == 0 {
+		t.Fatalf("counters not advancing: %+v", last)
+	}
+	var sum float64
+	for _, p := range last.Pi {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("π sums to %v", sum)
+	}
+}

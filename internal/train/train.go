@@ -12,6 +12,7 @@ import (
 
 	"gmreg/internal/data"
 	"gmreg/internal/models"
+	"gmreg/internal/obs"
 	"gmreg/internal/reg"
 	"gmreg/internal/tensor"
 )
@@ -65,6 +66,11 @@ type SGDConfig struct {
 	// false stops training early (the remaining epochs are skipped and the
 	// history ends at the current epoch).
 	AfterEpoch func(epoch int, loss float64) bool
+	// Sink, when non-nil, receives one obs.Epoch event plus one obs.GMState
+	// mixture snapshot per adaptive regularizer at the end of every epoch.
+	// Emission only reads training state: a run with a sink (including
+	// obs.Discard) is bit-identical to a run without one.
+	Sink obs.Sink
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -187,6 +193,8 @@ func LogReg(task *data.Task, trainRows []int, cfg SGDConfig, factory reg.Factory
 		avgG = make([]float64, m)
 	}
 	lr := cfg.LearningRate
+	tel := NewTelemetry(cfg.Sink, 0)
+	telRegs := map[string]reg.Regularizer{"weights": r}
 
 	start := time.Now()
 	rows := append([]int(nil), trainRows...)
@@ -230,6 +238,7 @@ func LogReg(task *data.Task, trainRows []int, cfg SGDConfig, factory reg.Factory
 		meanLoss := epochLoss / float64(nBatches)
 		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
 		hist.EpochTime = append(hist.EpochTime, time.Since(start))
+		tel.Epoch(epoch, meanLoss, lr, time.Since(start), telRegs)
 		if cfg.AfterEpoch != nil && !cfg.AfterEpoch(epoch, meanLoss) {
 			break
 		}
