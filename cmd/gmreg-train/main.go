@@ -31,15 +31,28 @@
 // -save KEY appends the trained model (weights, batch-norm statistics, and
 // the learned GM snapshot) as a new version of KEY in the checkpoint store
 // file named by -store, creating the file if needed. gmreg-serve serves and
-// hot-reloads such stores.
+// hot-reloads such stores. -save refuses to persist a run that was
+// interrupted before its configured epoch count.
+//
+// -ckpt-every N -ckpt-dir DIR writes a full training-state checkpoint (model,
+// optimizer momentum, GM mixtures, data-stream position) every N epochs;
+// -resume PATH (a checkpoint file, or a directory whose latest checkpoint is
+// used) continues a killed run bit-identically to the uninterrupted one
+// (DESIGN.md §11). SIGINT/SIGTERM stop training cleanly at the next epoch
+// boundary. -die-at-epoch N is the fault-injection hook CI uses to rehearse
+// the crash/resume cycle.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
+	"syscall"
 
 	"gmreg"
 	"gmreg/internal/cli"
@@ -57,11 +70,11 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "horse-colic", "dataset: a UCI name, hosp-fa, or cifar")
-		csvPath  = flag.String("csv", "", "train on your own CSV instead of a synthetic dataset")
-		label    = flag.String("label", "", "label column for -csv (default: last column)")
-		model    = flag.String("model", "alex", "CNN for -dataset cifar: alex|resnet")
-		regName  = flag.String("reg", "gm", "regularizer: gm|l1|l2|elastic|huber|none")
+		dataset   = flag.String("dataset", "horse-colic", "dataset: a UCI name, hosp-fa, or cifar")
+		csvPath   = flag.String("csv", "", "train on your own CSV instead of a synthetic dataset")
+		label     = flag.String("label", "", "label column for -csv (default: last column)")
+		model     = flag.String("model", "alex", "CNN for -dataset cifar: alex|resnet")
+		regName   = flag.String("reg", "gm", "regularizer: gm|l1|l2|elastic|huber|none")
 		beta      = flag.Float64("beta", 1, "strength for the fixed baselines")
 		gamma     = flag.Float64("gamma", 0.001, "GM γ (b = γ·M)")
 		epochs    = flag.Int("epochs", 40, "training epochs")
@@ -78,6 +91,12 @@ func main() {
 		shard     = cli.Shard(flag.CommandLine)
 		prefetch  = cli.Prefetch(flag.CommandLine)
 		telemetry = cli.Telemetry(flag.CommandLine)
+
+		ckptEvery  = flag.Int("ckpt-every", 0, "write a training-state checkpoint every N epochs (0 = off; needs -ckpt-dir)")
+		ckptDir    = flag.String("ckpt-dir", "", "directory for training-state checkpoints")
+		ckptRetain = flag.Int("ckpt-retain", 0, "checkpoint files to keep, oldest pruned first (0 = default 3)")
+		resume     = flag.String("resume", "", "resume from a training-state checkpoint file, or the latest one in a directory")
+		dieAt      = flag.Int("die-at-epoch", 0, "fault injection: abort with an error after N completed epochs (testing only)")
 	)
 	flag.Parse()
 	gmSnapshotPath = *saveGM
@@ -105,6 +124,12 @@ func main() {
 	if sink != nil {
 		cfg.Sink = sink
 	}
+	pol, err := buildCkptPolicy(*ckptEvery, *ckptDir, *ckptRetain, *resume, *dieAt)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Ckpt = pol
+	installSignalStop(&cfg)
 	if *csvPath != "" {
 		if err := runCSV(*csvPath, *label, cfg, factory, *seed); err != nil {
 			fatal(err)
@@ -134,6 +159,76 @@ func runCSV(path, label string, cfg train.SGDConfig, factory gmreg.Factory, seed
 		return err
 	}
 	return trainAndReport(task, cfg, factory, seed)
+}
+
+// buildCkptPolicy assembles the training-state checkpoint policy from the
+// -ckpt-*/-resume/-die-at-epoch flags. -resume accepts either a checkpoint
+// file or a directory (the latest checkpoint inside is used); when -ckpt-every
+// is set without -ckpt-dir, new checkpoints continue in the resumed
+// checkpoint's directory.
+func buildCkptPolicy(every int, dir string, retain int, resume string, dieAt int) (*train.CheckpointPolicy, error) {
+	if every == 0 && resume == "" && dieAt == 0 {
+		return nil, nil
+	}
+	pol := &train.CheckpointPolicy{Every: every, Dir: dir, Retain: retain, DieAtEpoch: dieAt}
+	if resume != "" {
+		path := resume
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			latest, err := train.LatestCheckpoint(path)
+			if err != nil {
+				return nil, err
+			}
+			path = latest
+		}
+		st, err := train.LoadState(path)
+		if err != nil {
+			return nil, err
+		}
+		pol.Resume = st
+		if pol.Every > 0 && pol.Dir == "" {
+			pol.Dir = filepath.Dir(path)
+		}
+		fmt.Printf("resuming from %s (%d/%d epochs done)\n", path, st.Epoch, st.Epochs)
+	}
+	return pol, nil
+}
+
+// interrupted records that training was stopped early at an epoch boundary by
+// SIGINT/SIGTERM. A partial run must not be saved as if it had completed:
+// trainAndReport and runCIFAR refuse -save/-save-gm when it is set.
+var interrupted bool
+
+// installSignalStop arranges for SIGINT/SIGTERM to stop training cleanly at
+// the next epoch boundary (after that epoch's checkpoint decision) instead of
+// killing the process mid-update. A second signal falls back to the default
+// immediate termination.
+func installSignalStop(cfg *train.SGDConfig) {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	prev := cfg.AfterEpoch
+	cfg.AfterEpoch = func(epoch int, loss float64) bool {
+		select {
+		case sig := <-stop:
+			signal.Stop(stop)
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "gmreg-train: %v — stopping after epoch %d\n", sig, epoch+1)
+			return false
+		default:
+		}
+		if prev != nil {
+			return prev(epoch, loss)
+		}
+		return true
+	}
+}
+
+// refuseSaveInterrupted rejects persisting artifacts of a run that did not
+// reach its configured epoch count.
+func refuseSaveInterrupted() error {
+	if interrupted && (saveKey != "" || gmSnapshotPath != "") {
+		return fmt.Errorf("training was interrupted before completion; refusing -save/-save-gm — resume with -resume and save from the finished run")
+	}
+	return nil
 }
 
 // sinkOrNil converts a possibly-nil concrete sink to a clean nil interface.
@@ -196,6 +291,9 @@ func trainAndReport(task *data.Task, cfg train.SGDConfig, factory gmreg.Factory,
 	fmt.Printf("final training loss: %.4f (%.2fs)\n", res.History.FinalLoss(), res.History.TotalTime().Seconds())
 	fmt.Printf("train accuracy: %.3f\n", res.Model.Accuracy(task.X, task.Y, trainRows))
 	fmt.Printf("test accuracy:  %.3f\n", testAcc)
+	if err := refuseSaveInterrupted(); err != nil {
+		return err
+	}
 	if g, ok := res.Regularizer.(*core.GM); ok {
 		printGM("weights", g)
 		if gmSnapshotPath != "" {
@@ -258,6 +356,9 @@ func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, 
 	fmt.Printf("final training loss: %.4f (%.2fs)\n", res.History.FinalLoss(), res.History.TotalTime().Seconds())
 	fmt.Printf("train accuracy: %.3f\n", train.EvalNetwork(net, trainSet, 64))
 	fmt.Printf("test accuracy:  %.3f\n", testAcc)
+	if err := refuseSaveInterrupted(); err != nil {
+		return err
+	}
 	var names []string
 	for n := range res.Regs {
 		names = append(names, n)
@@ -329,4 +430,9 @@ func rounded(xs []float64) []float64 {
 	return out
 }
 
-func fatal(err error) { cli.Fatal("gmreg-train", err) }
+func fatal(err error) {
+	if errors.Is(err, train.ErrFaultInjected) {
+		err = fmt.Errorf("%w — checkpoints up to the last boundary are on disk; restart with -resume", err)
+	}
+	cli.Fatal("gmreg-train", err)
+}

@@ -63,6 +63,11 @@ type GM struct {
 	eSteps int
 	mSteps int
 
+	// merges records every component merge in order — the mixture's
+	// collapse trajectory, persisted in checkpoints so a resumed run
+	// reports the same history a continuous one would.
+	merges []MergeRecord
+
 	// hooks, when non-nil, observes E/M steps and merges (see Hooks).
 	hooks *Hooks
 }
@@ -171,6 +176,19 @@ func (g *GM) Hyper() (a, b float64) { return g.a, g.b }
 // Steps reports how many full E-steps and M-steps have run, for verifying
 // the lazy-update schedule.
 func (g *GM) Steps() (eSteps, mSteps int) { return g.eSteps, g.mSteps }
+
+// MergeRecord is one component merge: the counts around it and the M-step
+// it happened in.
+type MergeRecord struct {
+	FromK int `json:"from_k"`
+	ToK   int `json:"to_k"`
+	MStep int `json:"m_step"`
+}
+
+// MergeHistory returns a copy of every merge so far, oldest first.
+func (g *GM) MergeHistory() []MergeRecord {
+	return append([]MergeRecord(nil), g.merges...)
+}
 
 // Iterations returns how many Grad calls (Algorithm 2 loop passes) have run.
 // Together with Steps it quantifies the lazy-update amortization: the
@@ -478,10 +496,13 @@ func (g *GM) mergeComponents() {
 	if len(g.resp) != len(g.pi) {
 		g.allocScratch()
 	}
-	if len(g.pi) != kBefore && g.hooks != nil && g.hooks.Merge != nil {
+	if len(g.pi) != kBefore {
 		// mSteps is incremented by the caller after the merge pass, so +1
 		// reports the M-step this merge belongs to.
-		g.hooks.Merge(kBefore, len(g.pi), g.mSteps+1)
+		g.merges = append(g.merges, MergeRecord{FromK: kBefore, ToK: len(g.pi), MStep: g.mSteps + 1})
+		if g.hooks != nil && g.hooks.Merge != nil {
+			g.hooks.Merge(kBefore, len(g.pi), g.mSteps+1)
+		}
 	}
 }
 

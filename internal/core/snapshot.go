@@ -20,6 +20,19 @@ type Snapshot struct {
 	Iteration int       `json:"iteration"`
 	EpochIt   int       `json:"epoch_it"`
 	Config    Config    `json:"config"`
+	// ESteps/MSteps are the instrumentation counters, carried so resumed
+	// telemetry (skip ratios, step counts) continues the original series.
+	ESteps int `json:"e_steps,omitempty"`
+	MSteps int `json:"m_steps,omitempty"`
+	// Merges is the component-merge history (oldest first).
+	Merges []MergeRecord `json:"merges,omitempty"`
+	// Greg is the cached regularization gradient from the last E-step. The
+	// lazy-update schedule serves this cache between E-steps, so a resume
+	// that lands mid-interval must restore it verbatim to stay bit-identical
+	// with the uninterrupted run. Absent (nil) in pre-resume snapshots; the
+	// restored GM then starts from a zero cache, which is only exact when
+	// the next Grad call falls on a refresh boundary.
+	Greg []float64 `json:"greg,omitempty"`
 }
 
 // Snapshot captures the GM's current state. The slices are copies.
@@ -34,6 +47,10 @@ func (g *GM) Snapshot() Snapshot {
 		Iteration: g.it,
 		EpochIt:   g.epochIt,
 		Config:    g.cfg,
+		ESteps:    g.eSteps,
+		MSteps:    g.mSteps,
+		Merges:    append([]MergeRecord(nil), g.merges...),
+		Greg:      append([]float64(nil), g.greg...),
 	}
 }
 
@@ -65,6 +82,9 @@ func FromSnapshot(s Snapshot) (*GM, error) {
 	if piSum < 0.999 || piSum > 1.001 {
 		return nil, fmt.Errorf("core: snapshot mixing mass %v, want 1", piSum)
 	}
+	if s.Greg != nil && len(s.Greg) != s.M {
+		return nil, fmt.Errorf("core: snapshot cached gradient has %d dims, want %d", len(s.Greg), s.M)
+	}
 	g := &GM{
 		cfg:     s.Config,
 		m:       s.M,
@@ -75,9 +95,33 @@ func FromSnapshot(s Snapshot) (*GM, error) {
 		b:       s.B,
 		it:      s.Iteration,
 		epochIt: s.EpochIt,
+		eSteps:  s.ESteps,
+		mSteps:  s.MSteps,
+		merges:  append([]MergeRecord(nil), s.Merges...),
 	}
 	g.allocScratch()
+	if s.Greg != nil {
+		copy(g.greg, s.Greg)
+	}
 	return g, nil
+}
+
+// Restore overwrites the GM's state from a snapshot in place, preserving any
+// installed instrumentation hooks — the resume path for a regularizer the
+// trainer has already built (and possibly wired to a sink) from its factory.
+// The snapshot must describe the same parameter-group dimensionality.
+func (g *GM) Restore(s Snapshot) error {
+	if s.M != g.m {
+		return fmt.Errorf("core: restoring snapshot of %d dims into GM built for %d", s.M, g.m)
+	}
+	restored, err := FromSnapshot(s)
+	if err != nil {
+		return err
+	}
+	hooks := g.hooks
+	*g = *restored
+	g.hooks = hooks
+	return nil
 }
 
 // MarshalJSON serializes the GM as its Snapshot.

@@ -30,6 +30,13 @@ type StreamConfig struct {
 	// Prefetch assembles batches one step ahead on a background goroutine,
 	// overlapping gather/augmentation with compute.
 	Prefetch bool
+	// SkipBatches fast-forwards the sequence past batches already consumed
+	// by an earlier (checkpointed) run before the first Next call: the
+	// stream replays the skipped shuffles and augmentation draws through the
+	// exact production code path, so the batches that follow are
+	// bit-identical to positions SkipBatches, SkipBatches+1, … of a fresh
+	// stream. Resume-from-checkpoint sets this to completedEpochs×nBatches.
+	SkipBatches int
 }
 
 // Batches is the minibatch source the trainers consume. Next returns the
@@ -96,6 +103,18 @@ func newStream(set *ImageSet, cfg StreamConfig) *Stream {
 	sz := set.C * set.H * set.W
 	for i := range s.slots {
 		s.slots[i] = slot{x: make([]float64, cfg.Batch*sz), y: make([]int, cfg.Batch)}
+	}
+	if cfg.SkipBatches < 0 || cfg.SkipBatches > s.total {
+		panic(fmt.Sprintf("data: cannot skip %d of %d batches", cfg.SkipBatches, s.total))
+	}
+	// Replay the skipped prefix through fill itself (into slot 0, discarded)
+	// so every RNG draw — shuffles and augmentation alike — is consumed in
+	// exactly the order a fresh stream would have consumed it. This runs
+	// before any prefetch goroutine exists, so the skip is single-threaded.
+	for i := 0; i < cfg.SkipBatches; i++ {
+		if _, _, ok := s.fill(0); !ok {
+			break
+		}
 	}
 	return s
 }

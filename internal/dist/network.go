@@ -115,6 +115,19 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg NetConfig, factory re
 		reps[r] = &replica{net: c, params: c.Params(), bns: c.BatchNorms()}
 	}
 
+	hist := &train.History{}
+	ckpt := train.NewCkptRunner(cfg.SGD.Ckpt, cfg.SGD.Sink)
+	startEpoch := 0
+	if cfg.SGD.Ckpt != nil && cfg.SGD.Ckpt.Resume != nil {
+		// Restore the authoritative state before the initial broadcast so
+		// every replica starts from the checkpointed weights and statistics.
+		if err := train.RestoreNetwork(cfg.SGD.Ckpt.Resume, cfg.SGD, ss, net, opt, hist); err != nil {
+			return nil, err
+		}
+		startEpoch = cfg.SGD.Ckpt.Resume.Epoch
+	}
+	capture := func() *train.State { return train.CaptureNetwork(cfg.SGD, ss, net, opt, hist) }
+
 	// broadcast pushes the authoritative weights and batch-norm running
 	// statistics to every replica; replicas only ever read them inside a
 	// global step, after the Each barrier of the previous one.
@@ -134,18 +147,19 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg NetConfig, factory re
 	broadcast()
 
 	batches := data.NewBatches(trainSet, data.StreamConfig{
-		Batch:    batch,
-		Epochs:   cfg.SGD.Epochs,
-		Seed:     cfg.SGD.Seed,
-		Augment:  cfg.SGD.Augment,
-		Prefetch: cfg.Prefetch,
+		Batch:       batch,
+		Epochs:      cfg.SGD.Epochs,
+		Seed:        cfg.SGD.Seed,
+		Augment:     cfg.SGD.Augment,
+		Prefetch:    cfg.Prefetch,
+		SkipBatches: startEpoch * nBatches,
 	})
 	defer batches.Close()
 
-	hist := &train.History{}
 	tel := train.NewTelemetry(cfg.SGD.Sink, R)
 	start := time.Now()
-	for epoch := 0; epoch < cfg.SGD.Epochs; epoch++ {
+	completed := startEpoch
+	for epoch := startEpoch; epoch < cfg.SGD.Epochs; epoch++ {
 		lr := cfg.SGD.LRAt(epoch)
 		var epochLoss float64
 		for b := 0; b < nBatches; b++ {
@@ -193,8 +207,17 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg NetConfig, factory re
 		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
 		hist.EpochTime = append(hist.EpochTime, time.Since(start))
 		tel.Epoch(epoch, meanLoss, lr, time.Since(start), opt.Regs)
+		completed = epoch + 1
+		if err := ckpt.AfterEpoch(completed, capture); err != nil {
+			return nil, err
+		}
 		if cfg.SGD.AfterEpoch != nil && !cfg.SGD.AfterEpoch(epoch, meanLoss) {
 			break
+		}
+	}
+	if completed == cfg.SGD.Epochs {
+		if err := ckpt.Finish(completed, capture); err != nil {
+			return nil, err
 		}
 	}
 	return &train.NetworkResult{Net: net, Regs: opt.Regs, History: hist}, nil

@@ -104,6 +104,25 @@ type Merge struct {
 // Kind implements Event.
 func (Merge) Kind() string { return "merge" }
 
+// Ckpt records one training-state checkpoint write — the recovery points a
+// crashed run can resume from. Ckpt events describe I/O, not the training
+// computation, so they are excluded from the resume bit-identity contract
+// (an interrupted-and-resumed run writes a different set of them than an
+// uninterrupted one).
+type Ckpt struct {
+	// Epoch is the number of completed epochs the checkpoint captures.
+	Epoch int `json:"epoch"`
+	// Path is the checkpoint file written.
+	Path string `json:"path"`
+	// Bytes is the serialized size.
+	Bytes int64 `json:"bytes"`
+	// Final marks the checkpoint written at normal training completion.
+	Final bool `json:"final,omitempty"`
+}
+
+// Kind implements Event.
+func (Ckpt) Kind() string { return "ckpt" }
+
 // Swap records a serving checkpoint change (first load, new version, pin).
 type Swap struct {
 	Model string `json:"model"`

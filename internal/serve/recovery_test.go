@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gmreg/internal/store"
+)
+
+// TestRegistryWatchFileSurvivesPartialWrite rehearses the crash a non-atomic
+// snapshot writer would leave behind: the watched store file is replaced by a
+// truncated prefix of a valid snapshot. The registry must keep serving the
+// previously loaded version across the bad file, then pick up the next good
+// snapshot. (Writers in this repository always go through
+// store.WriteFileAtomic, so the partial file here is planted by hand.)
+func TestRegistryWatchFileSurvivesPartialWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.store")
+	key := "m"
+
+	st := store.New()
+	if _, err := PutCheckpoint(st, key, makeCheckpoint(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(store.New())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { reg.WatchFile(ctx, path, 5*time.Millisecond); close(done) }()
+
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.After(10 * time.Second)
+		for !cond() {
+			select {
+			case <-deadline:
+				t.Fatalf("timed out waiting for %s", what)
+			default:
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	waitFor(func() bool { m, _ := reg.Current(key); return m != nil && m.Version.Seq == 1 }, "initial load")
+
+	// Plant the partial write: half of what the v2 snapshot would be.
+	if _, err := PutCheckpoint(st, key, makeCheckpoint(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := st.WriteSnapshot(&full); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full.Bytes()[:full.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Give the watcher several polls over the corrupt file; v1 must survive.
+	time.Sleep(50 * time.Millisecond)
+	if m, ok := reg.Current(key); !ok || m.Version.Seq != 1 {
+		t.Fatalf("serving version after partial write: %+v, want v1 still live", m)
+	}
+
+	// The complete snapshot lands (atomically, as real writers do) and the
+	// watcher recovers to v2 without a restart.
+	if err := store.SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(func() bool { m, _ := reg.Current(key); return m != nil && m.Version.Seq == 2 }, "recovery to v2")
+
+	cancel()
+	<-done
+}

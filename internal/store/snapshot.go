@@ -54,17 +54,21 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
-// SaveFile writes the store snapshot to path atomically (temp file + rename
-// in the destination directory), so a concurrently polling gmreg-serve never
-// observes a half-written snapshot.
-func SaveFile(path string, s *Store) error {
+// WriteFileAtomic streams write into a temp file in path's directory and
+// renames it over path, so concurrent readers (a polling gmreg-serve, a
+// resume loading the latest training checkpoint) only ever observe either
+// the old complete file or the new complete file — never a partial write.
+// This is the one durability primitive every snapshot in the repository goes
+// through: the serving store (SaveFile) and the training-state checkpoints
+// (train.State.WriteFile).
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".store-*")
+	tmp, err := os.CreateTemp(dir, ".snap-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if err := s.WriteSnapshot(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -72,6 +76,13 @@ func SaveFile(path string, s *Store) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// SaveFile writes the store snapshot to path atomically (temp file + rename
+// in the destination directory), so a concurrently polling gmreg-serve never
+// observes a half-written snapshot.
+func SaveFile(path string, s *Store) error {
+	return WriteFileAtomic(path, s.WriteSnapshot)
 }
 
 // LoadFile reads a snapshot written by SaveFile.

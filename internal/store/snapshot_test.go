@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -101,6 +103,53 @@ func TestSaveLoadFile(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 1 {
 		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadFileRejectsTruncatedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.store")
+	s := New()
+	s.Put("model", []byte("a checkpoint big enough to truncate meaningfully"))
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer that died mid-copy (only possible for writers that
+	// bypass WriteFileAtomic): the half-file must be rejected, not served.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("truncated snapshot file loaded without error")
+	}
+}
+
+func TestWriteFileAtomicFailureKeepsOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.store")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A write callback that fails mid-stream must leave the destination
+	// untouched and clean up its temp file.
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return errors.New("disk full")
+	})
+	if err == nil {
+		t.Fatal("expected the write error to propagate")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "original" {
+		t.Fatalf("destination after failed write: %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after failed write, want 1", len(entries))
 	}
 }
 

@@ -87,3 +87,14 @@ func (r *RNG) ShuffleInts(xs []int) {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.next())
 }
+
+// State returns the raw generator state, the complete description of the
+// stream position: a generator rebuilt with SetState continues with exactly
+// the draws this one would produce next. Training-state checkpoints persist
+// this word to make resumed shuffles bit-identical.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a stream position captured with State. Unlike NewRNG it
+// installs the word verbatim (no warm-up step), so State/SetState round-trip
+// exactly.
+func (r *RNG) SetState(s uint64) { r.state = s }

@@ -56,19 +56,30 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory re
 	if ss < batch {
 		bank = NewGradBank(opt.Params, (batch+ss-1)/ss)
 	}
+	hist := &History{}
+	ckpt := NewCkptRunner(cfg.Ckpt, cfg.Sink)
+	startEpoch := 0
+	if cfg.Ckpt != nil && cfg.Ckpt.Resume != nil {
+		if err := RestoreNetwork(cfg.Ckpt.Resume, cfg, ss, net, opt, hist); err != nil {
+			return nil, err
+		}
+		startEpoch = cfg.Ckpt.Resume.Epoch
+	}
+	capture := func() *State { return CaptureNetwork(cfg, ss, net, opt, hist) }
 	batches := data.NewBatches(trainSet, data.StreamConfig{
-		Batch:    batch,
-		Epochs:   cfg.Epochs,
-		Seed:     cfg.Seed,
-		Augment:  cfg.Augment,
-		Prefetch: cfg.Prefetch,
+		Batch:       batch,
+		Epochs:      cfg.Epochs,
+		Seed:        cfg.Seed,
+		Augment:     cfg.Augment,
+		Prefetch:    cfg.Prefetch,
+		SkipBatches: startEpoch * nBatches,
 	})
 	defer batches.Close()
 
-	hist := &History{}
 	tel := NewTelemetry(cfg.Sink, 0)
 	start := time.Now()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	completed := startEpoch
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		lr := cfg.lrAt(epoch)
 		var epochLoss float64
 		for b := 0; b < nBatches; b++ {
@@ -111,8 +122,17 @@ func Network(net *nn.Network, trainSet *data.ImageSet, cfg SGDConfig, factory re
 		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
 		hist.EpochTime = append(hist.EpochTime, time.Since(start))
 		tel.Epoch(epoch, meanLoss, lr, time.Since(start), opt.Regs)
+		completed = epoch + 1
+		if err := ckpt.AfterEpoch(completed, capture); err != nil {
+			return nil, err
+		}
 		if cfg.AfterEpoch != nil && !cfg.AfterEpoch(epoch, meanLoss) {
 			break
+		}
+	}
+	if completed == cfg.Epochs {
+		if err := ckpt.Finish(completed, capture); err != nil {
+			return nil, err
 		}
 	}
 	return &NetworkResult{Net: net, Regs: opt.Regs, History: hist}, nil

@@ -68,6 +68,11 @@ func (o *Optimizer) Step(lr, momentum float64) {
 	}
 }
 
+// Velocities returns the live momentum buffers, one per parameter group in
+// Params order. Checkpoint capture copies them out and resume copies a saved
+// state back in; they must not be resized.
+func (o *Optimizer) Velocities() [][]float64 { return o.vels }
+
 // GradBank stores per-shard gradient snapshots of a minibatch, one
 // flattened buffer per shard, and folds them back in canonical order. The
 // ascending left-fold in Reduce is part of the numeric contract: the

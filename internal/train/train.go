@@ -71,6 +71,12 @@ type SGDConfig struct {
 	// Emission only reads training state: a run with a sink (including
 	// obs.Discard) is bit-identical to a run without one.
 	Sink obs.Sink
+	// Ckpt, when non-nil, enables periodic training-state checkpoints
+	// and/or resume (see CheckpointPolicy). Checkpointing only reads
+	// training state at epoch boundaries: a checkpointed run is
+	// bit-identical to an uncheckpointed one, and a resumed run is
+	// bit-identical to the uninterrupted original (DESIGN.md §11).
+	Ckpt *CheckpointPolicy
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -91,7 +97,7 @@ func (c SGDConfig) Validate() error {
 	case c.LRDecayEvery > 0 && (c.LRDecayFactor <= 0 || c.LRDecayFactor > 1):
 		return fmt.Errorf("train: LRDecayFactor must be in (0,1], got %v", c.LRDecayFactor)
 	default:
-		return nil
+		return c.Ckpt.validate()
 	}
 }
 
@@ -198,7 +204,32 @@ func LogReg(task *data.Task, trainRows []int, cfg SGDConfig, factory reg.Factory
 
 	start := time.Now()
 	rows := append([]int(nil), trainRows...)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	ckpt := NewCkptRunner(cfg.Ckpt, cfg.Sink)
+	startEpoch := 0
+	if cfg.Ckpt != nil && cfg.Ckpt.Resume != nil {
+		st := cfg.Ckpt.Resume
+		if err := restoreLogReg(st, cfg, model, r, vel, &velB, rng, rows, hist); err != nil {
+			return nil, err
+		}
+		if bb {
+			if st.BB == nil {
+				return nil, fmt.Errorf("train: checkpoint lacks Barzilai–Borwein state")
+			}
+			copy(prevW, st.BB.PrevW)
+			copy(prevAvgG, st.BB.PrevAvgG)
+			lr = st.BB.LR
+		}
+		startEpoch = st.Epoch
+	}
+	capture := func() *State {
+		var bbState *BBState
+		if bb {
+			bbState = &BBState{PrevW: f64s(prevW), PrevAvgG: f64s(prevAvgG), LR: lr}
+		}
+		return captureLogReg(cfg, model, r, vel, velB, rng, rows, bbState, hist)
+	}
+	completed := startEpoch
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if !bb {
 			lr = cfg.lrAt(epoch)
 		}
@@ -239,8 +270,17 @@ func LogReg(task *data.Task, trainRows []int, cfg SGDConfig, factory reg.Factory
 		hist.EpochLoss = append(hist.EpochLoss, meanLoss)
 		hist.EpochTime = append(hist.EpochTime, time.Since(start))
 		tel.Epoch(epoch, meanLoss, lr, time.Since(start), telRegs)
+		completed = epoch + 1
+		if err := ckpt.AfterEpoch(completed, capture); err != nil {
+			return nil, err
+		}
 		if cfg.AfterEpoch != nil && !cfg.AfterEpoch(epoch, meanLoss) {
 			break
+		}
+	}
+	if completed == cfg.Epochs {
+		if err := ckpt.Finish(completed, capture); err != nil {
+			return nil, err
 		}
 	}
 	return &LogRegResult{Model: model, Regularizer: r, History: hist}, nil
