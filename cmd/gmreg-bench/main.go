@@ -7,19 +7,27 @@
 //	gmreg-bench -exp all
 //
 // Experiments: table4, table5, table6, table7, table8, fig3, fig4, fig5,
-// fig6, fig7, hotpath, serve, dataparallel, all. Scales: small (minutes) and
-// full (hours on CPU; matches the paper's budgets where feasible). See
-// EXPERIMENTS.md for the recorded paper-vs-measured comparison. The hotpath
-// experiment benchmarks the allocating kernels against the pooled
-// zero-allocation hot path and writes BENCH_hotpath.json; the serve
-// experiment sweeps the micro-batching predictor's batch-window settings
-// under concurrent load and writes BENCH_serve.json; the dataparallel
-// experiment sweeps dist.Network replica counts × prefetch and writes
-// BENCH_dataparallel.json.
+// fig6, fig7, hotpath, serve, dataparallel, autotune, all. Scales: small
+// (minutes) and full (hours on CPU; matches the paper's budgets where
+// feasible). See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison. The hotpath experiment benchmarks the allocating kernels
+// against the pooled zero-allocation hot path — plus -micro rows pitting
+// the register-blocked micro-kernels against the PR-1 blocked kernels — and
+// writes BENCH_hotpath.json; the serve experiment sweeps the micro-batching
+// predictor's batch-window settings under concurrent load and writes
+// BENCH_serve.json; the dataparallel experiment sweeps dist.Network replica
+// counts × prefetch and writes BENCH_dataparallel.json; the autotune
+// experiment runs the kernel calibration sweep, writes BENCH_autotune.json,
+// and persists the winning config to the per-host cache file
+// (~/.cache/gmreg/autotune-<hostname>-<gomaxprocs>.json, honored at startup
+// unless GMREG_AUTOTUNE=off).
 //
 // The harness runs on all cores by default; -procs pins both GOMAXPROCS and
-// the kernel partition grain, and every BENCH_*.json records the effective
-// GOMAXPROCS it was measured with.
+// the kernel partition grain. Every BENCH_*.json embeds an env header (go
+// version, GOMAXPROCS, NumCPU, serial cutoff, partition grain, tile shape,
+// autotune source) so results are reproducible on another host, and the
+// hotpath/dataparallel reports stamp scaling_valid:false — with the reason —
+// whenever effective GOMAXPROCS (min of GOMAXPROCS and NumCPU) is below 2.
 package main
 
 import (
@@ -36,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|dataparallel|ablations|all")
+		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|dataparallel|autotune|ablations|all")
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 
 	"gmreg/internal/data"
 	"gmreg/internal/dist"
@@ -36,14 +35,15 @@ type DataParallelCase struct {
 
 // DataParallelReport is the full sweep written to BENCH_dataparallel.json.
 type DataParallelReport struct {
-	GOMAXPROCS     int `json:"gomaxprocs"`
-	PartitionGrain int `json:"partition_grain"`
+	Env Env `json:"env"`
 	// ScalingValid records whether the speedup column measures real
-	// parallelism: false when the sweep ran with GOMAXPROCS=1, where every
-	// replica shares one CPU and the numbers only measure fan-out overhead.
-	// Readers must not quote the speedup/efficiency columns of an invalid
-	// run as scaling results.
+	// parallelism: false when effective GOMAXPROCS (min of GOMAXPROCS and
+	// NumCPU) is < 2, where every replica shares one CPU and the numbers
+	// only measure fan-out overhead; ScalingNote says why. Readers must not
+	// quote the speedup/efficiency columns of an invalid run as scaling
+	// results.
 	ScalingValid bool               `json:"scaling_valid"`
+	ScalingNote  string             `json:"scaling_note,omitempty"`
 	TrainN       int                `json:"train_n"`
 	ImageSize    int                `json:"image_size"`
 	Batch        int                `json:"batch"`
@@ -66,13 +66,14 @@ func RunDataParallel(w io.Writer, s Scale) (*DataParallelReport, error) {
 	spec.Size = size
 	trainSet, _ := data.GenerateCIFAR(spec, s.Seed)
 
+	env := CaptureEnv()
 	rep := &DataParallelReport{
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		PartitionGrain: tensor.PartitionGrain(),
-		ScalingValid:   runtime.GOMAXPROCS(0) > 1,
-		TrainN:         trainN,
-		ImageSize:      size,
-		Batch:          batch,
+		Env:          env,
+		ScalingValid: env.ScalingInvalidReason() == "",
+		ScalingNote:  env.ScalingInvalidReason(),
+		TrainN:       trainN,
+		ImageSize:    size,
+		Batch:        batch,
 		// Pinned shard size: every replica count folds the same 8-shard
 		// partition, so all rows must report the identical final loss.
 		ShardSize: batch / 8,
@@ -122,11 +123,9 @@ func RunDataParallel(w io.Writer, s Scale) (*DataParallelReport, error) {
 	}
 
 	sectionHeader(w, "Data-parallel Alex-shaped training (pinned shard partition)")
-	fmt.Fprintf(w, "train=%d size=%d batch=%d shard=%d epochs=%d gomaxprocs=%d\n",
-		trainN, size, batch, rep.ShardSize, epochs, rep.GOMAXPROCS)
-	if !rep.ScalingValid {
-		fmt.Fprintln(w, "WARNING: GOMAXPROCS=1 — speedup/efficiency measure fan-out overhead, not scaling")
-	}
+	fmt.Fprintf(w, "train=%d size=%d batch=%d shard=%d epochs=%d gomaxprocs=%d num_cpu=%d partition_grain=%d\n",
+		trainN, size, batch, rep.ShardSize, epochs, env.GOMAXPROCS, env.NumCPU, env.PartitionGrain)
+	env.warnScaling(w)
 	t := newTable("replicas", "prefetch", "epoch s", "speedup", "efficiency", "final loss")
 	for _, c := range rep.Cases {
 		t.addRowf("%d|%v|%.3f|%.2f|%.2f|%.6f",

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
@@ -46,8 +45,12 @@ type HotpathCase struct {
 
 // HotpathReport is the full comparison written to BENCH_hotpath.json.
 type HotpathReport struct {
-	GOMAXPROCS   int           `json:"gomaxprocs"`
-	SerialCutoff int           `json:"serial_cutoff"`
+	Env Env `json:"env"`
+	// ScalingValid is false when the run could not realize parallelism
+	// (effective GOMAXPROCS < 2); ScalingNote says why. Single-thread
+	// speedups (the micro-kernel rows) remain meaningful either way.
+	ScalingValid bool          `json:"scaling_valid"`
+	ScalingNote  string        `json:"scaling_note,omitempty"`
 	Cases        []HotpathCase `json:"cases"`
 }
 
@@ -66,13 +69,17 @@ func measureBench(f func(b *testing.B)) HotpathResult {
 // RunHotpath benchmarks the allocating kernels against their pooled
 // counterparts and prints the comparison table.
 func RunHotpath(w io.Writer, _ Scale) (*HotpathReport, error) {
+	env := CaptureEnv()
 	rep := &HotpathReport{
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		SerialCutoff: tensor.SerialCutoff(),
+		Env:          env,
+		ScalingValid: env.ScalingInvalidReason() == "",
+		ScalingNote:  env.ScalingInvalidReason(),
 	}
 	rng := tensor.NewRNG(1)
 
-	// MatMul 128×128×128 — the dense-layer shape class.
+	// MatMul 128×128×128 — the dense-layer shape class. The -micro row pins
+	// the same shape against the PR-1 blocked kernel (Ref*Into), isolating
+	// the register-blocked micro-kernel win from the allocation win.
 	{
 		a, b := tensor.New(128, 128), tensor.New(128, 128)
 		dst := tensor.New(128, 128)
@@ -82,6 +89,17 @@ func RunHotpath(w io.Writer, _ Scale) (*HotpathReport, error) {
 			func(bb *testing.B) {
 				for i := 0; i < bb.N; i++ {
 					tensor.MatMul(a, b)
+				}
+			},
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					tensor.MatMulInto(dst, a, b)
+				}
+			})
+		rep.add("matmul-128-micro",
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					tensor.RefMatMulInto(dst, a, b)
 				}
 			},
 			func(bb *testing.B) {
@@ -108,6 +126,17 @@ func RunHotpath(w io.Writer, _ Scale) (*HotpathReport, error) {
 					tensor.MatMulTransBInto(dst, a, b)
 				}
 			})
+		rep.add("matmul-transB-conv-micro",
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					tensor.RefMatMulTransBInto(dst, a, b)
+				}
+			},
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					tensor.MatMulTransBInto(dst, a, b)
+				}
+			})
 	}
 
 	// Aᵀ·B on the conv weight-gradient geometry.
@@ -120,6 +149,17 @@ func RunHotpath(w io.Writer, _ Scale) (*HotpathReport, error) {
 			func(bb *testing.B) {
 				for i := 0; i < bb.N; i++ {
 					tensor.MatMulTransA(a, b)
+				}
+			},
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					tensor.MatMulTransAInto(dst, a, b)
+				}
+			})
+		rep.add("matmul-transA-conv-micro",
+			func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					tensor.RefMatMulTransAInto(dst, a, b)
 				}
 			},
 			func(bb *testing.B) {
@@ -247,7 +287,11 @@ func RunHotpath(w io.Writer, _ Scale) (*HotpathReport, error) {
 			})
 	}
 
-	sectionHeader(w, "Hot-path allocation comparison (baseline = allocating APIs)")
+	sectionHeader(w, "Hot-path comparison (baseline = allocating APIs; -micro rows = PR-1 blocked kernels)")
+	fmt.Fprintf(w, "gomaxprocs=%d num_cpu=%d serial_cutoff=%d partition_grain=%d tile=%dx%d small_cutoff=%d tune=%s\n",
+		env.GOMAXPROCS, env.NumCPU, env.SerialCutoff, env.PartitionGrain,
+		env.TileM, env.TileN, env.SmallCutoff, env.TuneSource)
+	env.warnScaling(w)
 	t := newTable("case", "base ns/op", "base allocs", "base B/op", "pooled ns/op", "pooled allocs", "pooled B/op", "speedup")
 	for _, c := range rep.Cases {
 		t.addRowf("%s|%.0f|%d|%d|%.0f|%d|%d|%.2fx",

@@ -103,6 +103,17 @@ var registry = map[string]runner{
 		fmt.Fprintln(w, "wrote", ServeJSONPath)
 		return nil
 	},
+	"autotune": func(w io.Writer, s Scale, _ Options) error {
+		rep, err := RunAutotune(w, s)
+		if err != nil {
+			return err
+		}
+		if err := WriteAutotuneJSON(AutotuneJSONPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", AutotuneJSONPath)
+		return nil
+	},
 	"dataparallel": func(w io.Writer, s Scale, _ Options) error {
 		rep, err := RunDataParallel(w, s)
 		if err != nil {

@@ -40,11 +40,11 @@ type ServeCase struct {
 
 // ServeReport is the full sweep written to BENCH_serve.json.
 type ServeReport struct {
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Replicas   int         `json:"replicas"`
-	Clients    int         `json:"clients"`
-	PerClient  int         `json:"requests_per_client"`
-	Cases      []ServeCase `json:"cases"`
+	Env       Env         `json:"env"`
+	Replicas  int         `json:"replicas"`
+	Clients   int         `json:"clients"`
+	PerClient int         `json:"requests_per_client"`
+	Cases     []ServeCase `json:"cases"`
 }
 
 // ServeJSONPath is where the serve experiment writes its JSON report.
@@ -90,10 +90,10 @@ func RunServe(w io.Writer, s Scale) (*ServeReport, error) {
 	}
 
 	rep := &ServeReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Replicas:   replicas,
-		Clients:    clients,
-		PerClient:  perClient,
+		Env:       CaptureEnv(),
+		Replicas:  replicas,
+		Clients:   clients,
+		PerClient: perClient,
 	}
 	for _, set := range settings {
 		c, err := runServeCase(model, serve.Config{

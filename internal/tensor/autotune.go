@@ -1,0 +1,490 @@
+package tensor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"gmreg/internal/store"
+)
+
+// The autotuner picks the kernel tunables — micro-kernel tile shape, the
+// flop count below which packing is skipped, the worker pool's serial
+// cutoff, and the partition grain — by timing a small calibration sweep,
+// and persists the winner per host so every later process starts with the
+// right configuration instead of re-measuring.
+//
+// Persistence: ~/.cache/gmreg/autotune-<hostname>-<gomaxprocs>.json
+// (os.UserCacheDir; written atomically via store.WriteFileAtomic). The file
+// is keyed by GOMAXPROCS because both the profitable tile shape and the
+// partition grain depend on the effective width.
+//
+// Startup precedence (lowest to highest): built-in defaults < persisted
+// per-host file < GMREG_SERIAL_CUTOFF / GMREG_PARTITION_GRAIN env overrides.
+// GMREG_AUTOTUNE=off skips the file entirely; GMREG_AUTOTUNE=force runs a
+// fresh calibration at startup and overwrites the file. A missing, corrupt,
+// or out-of-range file silently falls back to the defaults — autotuning is
+// an optimization, never a correctness dependency. Every supported tile
+// shape produces bit-identical results (hotpath_test.go), so the config
+// only affects speed — except PartitionGrain, which (like the env override
+// it mirrors) changes how chunked reductions split and is therefore part of
+// a host's deterministic-numerics fingerprint.
+
+// DefaultSmallCutoff matches the PR-1 mmSmall packing threshold;
+// tuneVersion stamps the persisted config format.
+const (
+	DefaultSmallCutoff = 32 * 1024
+	tuneVersion        = 1
+)
+
+// DefaultTile is the tile shape assumed before any autotune file or sweep:
+// 4×4 on amd64, where the SSE2 packed-double kernel carries that shape past
+// the scalar flop ceiling, and 2×4 elsewhere — the widest pure-Go tile whose
+// accumulators stay resident in sixteen float registers.
+func DefaultTile() (mr, nr int) {
+	if hasSSETile {
+		return 4, 4
+	}
+	return 2, 4
+}
+
+// tileShape packs (mr<<8 | nr) into one word so concurrent readers never
+// observe a torn pair; smallCutoff is the m*k*n product below which the
+// serial axpy kernel runs. Both are initialized by startupTune.
+var (
+	tileShape   atomic.Int64
+	smallCutoff atomic.Int64
+	tuneSource  atomic.Value // string: "default" | "file" | "calibrated" | "manual"
+)
+
+// init is the package's single startup path: defaults first, then the
+// per-host autotune file, then explicit env overrides. Keeping it in one
+// place (rather than split across files) makes the precedence order
+// explicit instead of an accident of file-name init order.
+func init() {
+	dm, dn := DefaultTile()
+	tileShape.Store(int64(dm)<<8 | int64(dn))
+	smallCutoff.Store(DefaultSmallCutoff)
+	tuneSource.Store("default")
+	partitionGrain = int64(runtime.GOMAXPROCS(0))
+
+	switch os.Getenv("GMREG_AUTOTUNE") {
+	case "off":
+		// Defaults only.
+	case "force":
+		cfg, _ := Calibrate(nil) // applies every winner as it sweeps
+		if path, err := AutotunePath(); err == nil {
+			_ = SaveTune(path, cfg) // best effort: cache dir may be read-only
+		}
+	default:
+		if path, err := AutotunePath(); err == nil {
+			if cfg, err := LoadTune(path); err == nil {
+				if ApplyTune(cfg) == nil {
+					tuneSource.Store("file")
+				}
+			}
+		}
+	}
+
+	// Explicit env pins always win over the tuned config.
+	if s := os.Getenv("GMREG_SERIAL_CUTOFF"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			serialCutoff = int64(v)
+		}
+	}
+	if s := os.Getenv("GMREG_PARTITION_GRAIN"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			partitionGrain = int64(v)
+		}
+	}
+}
+
+// TileShape returns the active micro-kernel tile (MR, NR). MR == 0 selects
+// the reference blocked kernels.
+func TileShape() (mr, nr int) {
+	v := tileShape.Load()
+	return int(v >> 8), int(v & 0xff)
+}
+
+// SetTileShape activates a micro-kernel tile shape. Supported shapes are
+// 0×0 (reference blocked kernels), 2×4, 4×4, and 8×1; anything else is an
+// error. All shapes are bit-identical; only speed differs.
+func SetTileShape(mr, nr int) error {
+	if !supportedTile(mr, nr) {
+		return fmt.Errorf("tensor: unsupported tile shape %dx%d", mr, nr)
+	}
+	tileShape.Store(int64(mr)<<8 | int64(nr))
+	tuneSource.Store("manual")
+	return nil
+}
+
+func supportedTile(mr, nr int) bool {
+	switch [2]int{mr, nr} {
+	case [2]int{0, 0}, [2]int{2, 4}, [2]int{4, 4}, [2]int{8, 1}:
+		return true
+	}
+	return false
+}
+
+// SmallCutoff returns the m·k·n flop-count threshold below which the MatMul
+// family skips packing and runs the serial axpy kernel.
+func SmallCutoff() int { return int(smallCutoff.Load()) }
+
+// SetSmallCutoff overrides the packing threshold (minimum 1).
+func SetSmallCutoff(n int) {
+	if n < 1 {
+		n = 1
+	}
+	smallCutoff.Store(int64(n))
+}
+
+// TuneSource reports where the active configuration came from: "default",
+// "file" (persisted autotune), "calibrated" (GMREG_AUTOTUNE=force), or
+// "manual" (SetTileShape/ApplyTune at runtime).
+func TuneSource() string { return tuneSource.Load().(string) }
+
+// TuneConfig is the persisted autotune state: everything a host needs to
+// reproduce this process's kernel behavior, numerics included.
+type TuneConfig struct {
+	Version        int    `json:"version"`
+	Host           string `json:"host"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	TileM          int    `json:"tile_m"`
+	TileN          int    `json:"tile_n"`
+	SmallCutoff    int    `json:"small_cutoff"`
+	SerialCutoff   int    `json:"serial_cutoff"`
+	PartitionGrain int    `json:"partition_grain"`
+}
+
+// CurrentTune snapshots the live configuration.
+func CurrentTune() TuneConfig {
+	mr, nr := TileShape()
+	host, _ := os.Hostname()
+	return TuneConfig{
+		Version:        tuneVersion,
+		Host:           host,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		TileM:          mr,
+		TileN:          nr,
+		SmallCutoff:    SmallCutoff(),
+		SerialCutoff:   SerialCutoff(),
+		PartitionGrain: PartitionGrain(),
+	}
+}
+
+// validateTune rejects configs that could select a nonexistent kernel or
+// degenerate pool behavior; Host/GOMAXPROCS mismatches are allowed (the
+// file name already scopes them) so a copied config still applies.
+func validateTune(cfg TuneConfig) error {
+	if cfg.Version != tuneVersion {
+		return fmt.Errorf("tensor: autotune config version %d, want %d", cfg.Version, tuneVersion)
+	}
+	if !supportedTile(cfg.TileM, cfg.TileN) {
+		return fmt.Errorf("tensor: autotune config has unsupported tile %dx%d", cfg.TileM, cfg.TileN)
+	}
+	if cfg.SmallCutoff < 1 || cfg.SerialCutoff < 1 || cfg.PartitionGrain < 1 {
+		return errors.New("tensor: autotune config has non-positive tunables")
+	}
+	return nil
+}
+
+// ApplyTune validates and activates every tunable in cfg.
+func ApplyTune(cfg TuneConfig) error {
+	if err := validateTune(cfg); err != nil {
+		return err
+	}
+	tileShape.Store(int64(cfg.TileM)<<8 | int64(cfg.TileN))
+	smallCutoff.Store(int64(cfg.SmallCutoff))
+	atomic.StoreInt64(&serialCutoff, int64(cfg.SerialCutoff))
+	atomic.StoreInt64(&partitionGrain, int64(cfg.PartitionGrain))
+	tuneSource.Store("manual")
+	return nil
+}
+
+// AutotunePath returns the per-host config file path,
+// <UserCacheDir>/gmreg/autotune-<hostname>-<gomaxprocs>.json.
+func AutotunePath() (string, error) {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown"
+	}
+	name := fmt.Sprintf("autotune-%s-%d.json", host, runtime.GOMAXPROCS(0))
+	return filepath.Join(dir, "gmreg", name), nil
+}
+
+// LoadTune reads and validates a persisted config. Any failure — missing
+// file, malformed JSON, out-of-range values — returns an error and the
+// zero config; callers fall back to defaults.
+func LoadTune(path string) (TuneConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return TuneConfig{}, err
+	}
+	var cfg TuneConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return TuneConfig{}, fmt.Errorf("tensor: parsing autotune config %s: %w", path, err)
+	}
+	if err := validateTune(cfg); err != nil {
+		return TuneConfig{}, err
+	}
+	return cfg, nil
+}
+
+// SaveTune writes cfg atomically (temp file + rename), creating the cache
+// directory if needed.
+func SaveTune(path string, cfg TuneConfig) error {
+	if err := validateTune(cfg); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cfg)
+	})
+}
+
+// SweepPoint is one timed candidate from a calibration sweep.
+type SweepPoint struct {
+	// Param is the tunable being swept: "tile", "small_cutoff",
+	// "serial_cutoff", or "partition_grain".
+	Param string `json:"param"`
+	// Value renders the candidate ("2x4", "32768", ...).
+	Value string `json:"value"`
+	// NsPerOp is the mean wall time per kernel invocation across the
+	// calibration shapes.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Chosen marks the winning candidate of its sweep.
+	Chosen bool `json:"chosen"`
+}
+
+// calShape is one calibration product shape.
+type calShape struct{ m, k, n int }
+
+// calibration shapes: the dense-layer square, the conv im2col forward
+// geometry, and a narrow matrix·vector-like product that rewards 8×1.
+var calShapes = []calShape{{96, 96, 96}, {128, 400, 32}, {200, 300, 4}}
+
+// timeKernel measures dst = A·B over the calibration shapes under the
+// currently applied tunables, returning mean ns per invocation.
+func timeKernel(rounds int) float64 {
+	var total time.Duration
+	var ops int
+	for _, s := range calShapes {
+		rng := NewRNG(uint64(s.m*s.k + s.n))
+		a, b := DefaultArena.Get(s.m, s.k), DefaultArena.Get(s.k, s.n)
+		dst := DefaultArena.Get(s.m, s.n)
+		rng.FillNormal(a.Data, 0, 1)
+		rng.FillNormal(b.Data, 0, 1)
+		MatMulInto(dst, a, b) // warm the arena and caches
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			MatMulInto(dst, a, b)
+		}
+		total += time.Since(start)
+		ops += rounds
+		DefaultArena.Put(a)
+		DefaultArena.Put(b)
+		DefaultArena.Put(dst)
+	}
+	return float64(total.Nanoseconds()) / float64(ops)
+}
+
+// Calibrate times a sweep over tile shapes, packing cutoffs, the serial
+// cutoff, and the partition grain, and returns the winning config plus the
+// full sweep record. It temporarily mutates the live tunables and restores
+// the winner; concurrent kernel traffic stays correct (all candidates are
+// bit-identical) but will perturb the timings, so calibrate from quiet
+// processes. The options writer, when non-nil, receives progress lines.
+func Calibrate(progress io.Writer) (TuneConfig, []SweepPoint) {
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+	prev := CurrentTune()
+	cfg := prev
+	var sweep []SweepPoint
+
+	// Tile shape: time each candidate across the calibration shapes.
+	const rounds = 6
+	tiles := [][2]int{{0, 0}, {2, 4}, {4, 4}, {8, 1}}
+	bestNs, bestTile := 0.0, -1
+	var tilePoints []SweepPoint
+	for ti, t := range tiles {
+		tileShape.Store(int64(t[0])<<8 | int64(t[1]))
+		ns := timeKernel(rounds)
+		name := fmt.Sprintf("%dx%d", t[0], t[1])
+		if t[0] == 0 {
+			name = "ref"
+		}
+		tilePoints = append(tilePoints, SweepPoint{Param: "tile", Value: name, NsPerOp: ns})
+		logf("autotune: tile %-4s %12.0f ns/op", name, ns)
+		if bestTile < 0 || ns < bestNs {
+			bestNs, bestTile = ns, ti
+		}
+	}
+	tilePoints[bestTile].Chosen = true
+	sweep = append(sweep, tilePoints...)
+	cfg.TileM, cfg.TileN = tiles[bestTile][0], tiles[bestTile][1]
+	tileShape.Store(int64(cfg.TileM)<<8 | int64(cfg.TileN))
+
+	// Packing cutoff: with the winning tile fixed, find where packing starts
+	// to pay on a shape ladder straddling the candidate thresholds.
+	cutoffs := []int{8 * 1024, 32 * 1024, 128 * 1024}
+	bestNs, bestIdx := 0.0, -1
+	var cutPoints []SweepPoint
+	for ci, cut := range cutoffs {
+		smallCutoff.Store(int64(cut))
+		ns := timeSmallLadder()
+		cutPoints = append(cutPoints, SweepPoint{Param: "small_cutoff", Value: strconv.Itoa(cut), NsPerOp: ns})
+		logf("autotune: small_cutoff %-7d %9.0f ns/op", cut, ns)
+		if bestIdx < 0 || ns < bestNs {
+			bestNs, bestIdx = ns, ci
+		}
+	}
+	cutPoints[bestIdx].Chosen = true
+	sweep = append(sweep, cutPoints...)
+	cfg.SmallCutoff = cutoffs[bestIdx]
+	smallCutoff.Store(int64(cfg.SmallCutoff))
+
+	// Serial cutoff and partition grain only matter with real parallelism;
+	// on a 1-wide host the sweep would just measure noise, so keep the
+	// incoming values and record why.
+	if runtime.GOMAXPROCS(0) < 2 || runtime.NumCPU() < 2 {
+		logf("autotune: GOMAXPROCS/NumCPU < 2 — keeping serial_cutoff=%d partition_grain=%d",
+			cfg.SerialCutoff, cfg.PartitionGrain)
+		sweep = append(sweep,
+			SweepPoint{Param: "serial_cutoff", Value: strconv.Itoa(cfg.SerialCutoff), NsPerOp: 0, Chosen: true},
+			SweepPoint{Param: "partition_grain", Value: strconv.Itoa(cfg.PartitionGrain), NsPerOp: 0, Chosen: true})
+	} else {
+		cutPts, chosenCut := sweepSerialCutoff(logf)
+		sweep = append(sweep, cutPts...)
+		cfg.SerialCutoff = chosenCut
+		atomic.StoreInt64(&serialCutoff, int64(chosenCut))
+
+		grainPts, chosenGrain := sweepPartitionGrain(logf)
+		sweep = append(sweep, grainPts...)
+		cfg.PartitionGrain = chosenGrain
+		atomic.StoreInt64(&partitionGrain, int64(chosenGrain))
+	}
+
+	cfg.Version = tuneVersion
+	cfg.Host, _ = os.Hostname()
+	cfg.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	// Every winner was already applied sweep-by-sweep above.
+	tuneSource.Store("calibrated")
+	return cfg, sweep
+}
+
+// timeSmallLadder times products around the packing threshold, where the
+// small-cutoff choice decides the code path.
+func timeSmallLadder() float64 {
+	var total time.Duration
+	var ops int
+	for _, s := range []calShape{{16, 16, 16}, {24, 32, 24}, {32, 48, 32}, {48, 64, 48}} {
+		rng := NewRNG(uint64(s.m + s.k*s.n))
+		a, b := DefaultArena.Get(s.m, s.k), DefaultArena.Get(s.k, s.n)
+		dst := DefaultArena.Get(s.m, s.n)
+		rng.FillNormal(a.Data, 0, 1)
+		rng.FillNormal(b.Data, 0, 1)
+		MatMulInto(dst, a, b)
+		const rounds = 40
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			MatMulInto(dst, a, b)
+		}
+		total += time.Since(start)
+		ops += rounds
+		DefaultArena.Put(a)
+		DefaultArena.Put(b)
+		DefaultArena.Put(dst)
+	}
+	return float64(total.Nanoseconds()) / float64(ops)
+}
+
+// sweepSerialCutoff times a cheap row workload (one axpy per row, the
+// workload BenchmarkParallelCutoff uses) at each candidate threshold and
+// keeps the fastest.
+func sweepSerialCutoff(logf func(string, ...any)) ([]SweepPoint, int) {
+	prev := SerialCutoff()
+	defer SetSerialCutoff(prev)
+	candidates := []int{32, 64, 128, 256}
+	const rows, rowLen, rounds = 256, 64, 200
+	src := make([]float64, rows*rowLen)
+	dst := make([]float64, rows*rowLen)
+	var pts []SweepPoint
+	bestNs, bestIdx := 0.0, -1
+	for ci, cut := range candidates {
+		SetSerialCutoff(cut)
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, n := range []int{32, 64, 128, 256} {
+				Parallel(n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						Axpy(0.5, src[i*rowLen:(i+1)*rowLen], dst[i*rowLen:(i+1)*rowLen])
+					}
+				})
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / rounds
+		pts = append(pts, SweepPoint{Param: "serial_cutoff", Value: strconv.Itoa(cut), NsPerOp: ns})
+		logf("autotune: serial_cutoff %-4d %11.0f ns/op", cut, ns)
+		if bestIdx < 0 || ns < bestNs {
+			bestNs, bestIdx = ns, ci
+		}
+	}
+	pts[bestIdx].Chosen = true
+	return pts, candidates[bestIdx]
+}
+
+// sweepPartitionGrain times the chunked MatMulTransA reduction — the kernel
+// most sensitive to the chunk count — at each candidate grain. Note the
+// grain is part of the host's numerics fingerprint: re-tuning it changes
+// how chunked reductions round.
+func sweepPartitionGrain(logf func(string, ...any)) ([]SweepPoint, int) {
+	prev := PartitionGrain()
+	defer SetPartitionGrain(prev)
+	p := runtime.GOMAXPROCS(0)
+	candidates := []int{p, 2 * p, 4 * p}
+	rng := NewRNG(97)
+	a, b := DefaultArena.Get(256, 64), DefaultArena.Get(256, 128)
+	dst := DefaultArena.Get(64, 128)
+	rng.FillNormal(a.Data, 0, 1)
+	rng.FillNormal(b.Data, 0, 1)
+	var pts []SweepPoint
+	bestNs, bestIdx := 0.0, -1
+	for ci, g := range candidates {
+		SetPartitionGrain(g)
+		MatMulTransAInto(dst, a, b)
+		const rounds = 60
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			MatMulTransAInto(dst, a, b)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / rounds
+		pts = append(pts, SweepPoint{Param: "partition_grain", Value: strconv.Itoa(g), NsPerOp: ns})
+		logf("autotune: partition_grain %-3d %10.0f ns/op", g, ns)
+		if bestIdx < 0 || ns < bestNs {
+			bestNs, bestIdx = ns, ci
+		}
+	}
+	pts[bestIdx].Chosen = true
+	DefaultArena.Put(a)
+	DefaultArena.Put(b)
+	DefaultArena.Put(dst)
+	return pts, candidates[bestIdx]
+}

@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// restoreTune snapshots the live tunables and restores them when the test
+// finishes, so tuner tests can't leak config into the rest of the package.
+func restoreTune(t *testing.T) {
+	t.Helper()
+	prev := CurrentTune()
+	t.Cleanup(func() {
+		if err := ApplyTune(prev); err != nil {
+			t.Fatalf("restoring tune config: %v", err)
+		}
+	})
+}
+
+func TestTuneConfigRoundTrip(t *testing.T) {
+	restoreTune(t)
+	path := filepath.Join(t.TempDir(), "sub", "autotune.json")
+	cfg := TuneConfig{
+		Version:        1,
+		Host:           "testhost",
+		GOMAXPROCS:     4,
+		TileM:          2,
+		TileN:          4,
+		SmallCutoff:    8192,
+		SerialCutoff:   128,
+		PartitionGrain: 16,
+	}
+	if err := SaveTune(path, cfg); err != nil {
+		t.Fatalf("SaveTune: %v", err)
+	}
+	got, err := LoadTune(path)
+	if err != nil {
+		t.Fatalf("LoadTune: %v", err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip mismatch: got %+v, want %+v", got, cfg)
+	}
+	if err := ApplyTune(got); err != nil {
+		t.Fatalf("ApplyTune: %v", err)
+	}
+	if mr, nr := TileShape(); mr != 2 || nr != 4 {
+		t.Errorf("TileShape = %dx%d, want 2x4", mr, nr)
+	}
+	if SmallCutoff() != 8192 || SerialCutoff() != 128 || PartitionGrain() != 16 {
+		t.Errorf("applied tunables = %d/%d/%d, want 8192/128/16",
+			SmallCutoff(), SerialCutoff(), PartitionGrain())
+	}
+	if TuneSource() != "manual" {
+		t.Errorf("TuneSource = %q, want manual", TuneSource())
+	}
+}
+
+func TestLoadTuneFailures(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := LoadTune(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadTune on a missing file succeeded, want error")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTune(corrupt); err == nil {
+		t.Error("LoadTune on corrupt JSON succeeded, want error")
+	}
+
+	for name, cfg := range map[string]TuneConfig{
+		"bad-version": {Version: 99, TileM: 2, TileN: 4, SmallCutoff: 1, SerialCutoff: 1, PartitionGrain: 1},
+		"bad-tile":    {Version: 1, TileM: 3, TileN: 5, SmallCutoff: 1, SerialCutoff: 1, PartitionGrain: 1},
+		"bad-cutoff":  {Version: 1, TileM: 2, TileN: 4, SmallCutoff: 0, SerialCutoff: 1, PartitionGrain: 1},
+	} {
+		if err := ApplyTune(cfg); err == nil {
+			t.Errorf("ApplyTune(%s) succeeded, want error", name)
+		}
+		if err := SaveTune(filepath.Join(dir, name+".json"), cfg); err == nil {
+			t.Errorf("SaveTune(%s) succeeded, want error", name)
+		}
+	}
+}
+
+func TestSetTileShapeValidation(t *testing.T) {
+	restoreTune(t)
+	for _, ok := range [][2]int{{0, 0}, {2, 4}, {4, 4}, {8, 1}} {
+		if err := SetTileShape(ok[0], ok[1]); err != nil {
+			t.Errorf("SetTileShape(%d,%d): %v", ok[0], ok[1], err)
+		}
+		if mr, nr := TileShape(); mr != ok[0] || nr != ok[1] {
+			t.Errorf("TileShape = %dx%d after SetTileShape(%d,%d)", mr, nr, ok[0], ok[1])
+		}
+	}
+	for _, bad := range [][2]int{{1, 4}, {4, 2}, {8, 4}, {-2, 4}, {0, 4}} {
+		if err := SetTileShape(bad[0], bad[1]); err == nil {
+			t.Errorf("SetTileShape(%d,%d) succeeded, want error", bad[0], bad[1])
+		}
+	}
+}
+
+func TestAutotunePathShape(t *testing.T) {
+	path, err := AutotunePath()
+	if err != nil {
+		t.Skipf("no user cache dir: %v", err)
+	}
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "autotune-") || !strings.HasSuffix(base, ".json") {
+		t.Errorf("AutotunePath basename = %q, want autotune-<host>-<procs>.json", base)
+	}
+	if filepath.Base(filepath.Dir(path)) != "gmreg" {
+		t.Errorf("AutotunePath dir = %q, want .../gmreg", filepath.Dir(path))
+	}
+}
+
+// TestCalibrateProducesValidConfig runs the real sweep (a few hundred
+// milliseconds) and checks the result is applicable, persists, and marks
+// exactly one winner per swept parameter.
+func TestCalibrateProducesValidConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short mode")
+	}
+	restoreTune(t)
+	cfg, sweep := Calibrate(nil)
+	if err := ApplyTune(cfg); err != nil {
+		t.Fatalf("calibrated config does not apply: %+v: %v", cfg, err)
+	}
+	if len(sweep) == 0 {
+		t.Fatal("empty sweep record")
+	}
+	chosen := map[string]int{}
+	for _, p := range sweep {
+		if p.Chosen {
+			chosen[p.Param]++
+		}
+	}
+	for _, param := range []string{"tile", "small_cutoff", "serial_cutoff", "partition_grain"} {
+		if chosen[param] != 1 {
+			t.Errorf("param %q has %d chosen points, want 1", param, chosen[param])
+		}
+	}
+	path := filepath.Join(t.TempDir(), "autotune.json")
+	if err := SaveTune(path, cfg); err != nil {
+		t.Fatalf("SaveTune(calibrated): %v", err)
+	}
+	if _, err := LoadTune(path); err != nil {
+		t.Fatalf("LoadTune(calibrated): %v", err)
+	}
+}

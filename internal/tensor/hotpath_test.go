@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -511,4 +512,56 @@ func FuzzMatMulInto(f *testing.F) {
 		equalBits(t, "MatMulInto(fuzz)", got, want)
 		DefaultArena.Put(got)
 	})
+}
+
+// ---- micro-kernel edge shapes (satellite: tile-boundary coverage) ----
+
+// TestMicroKernelEdgeShapes sweeps every MatMul variant over the shapes
+// where tile-boundary bugs live — 1, tile−1, tile, tile+1, and primes —
+// under each supported tile configuration (including the {0,0} reference
+// fallback), with the packing cutoff forced down so the micro-kernel path
+// handles even 1×1×1 instead of deferring to the serial kernel.
+func TestMicroKernelEdgeShapes(t *testing.T) {
+	restoreTune(t)
+	dims := []int{1, 3, 4, 5, 7, 8, 9, 13, 31}
+	tiles := [][2]int{{0, 0}, {2, 4}, {4, 4}, {8, 1}}
+	rng := NewRNG(23)
+	for _, tile := range tiles {
+		if err := SetTileShape(tile[0], tile[1]); err != nil {
+			t.Fatalf("SetTileShape(%v): %v", tile, err)
+		}
+		SetSmallCutoff(1)
+		for _, m := range dims {
+			for _, k := range dims {
+				for _, n := range dims {
+					label := fmt.Sprintf("tile=%dx%d m=%d k=%d n=%d", tile[0], tile[1], m, k, n)
+					a, b := randMat(rng, m, k), randMat(rng, k, n)
+					want := naiveMatMul(a, b)
+					equalBits(t, "MatMul "+label, MatMul(a, b), want)
+					got := dirty(m, n)
+					MatMulInto(got, a, b)
+					equalBits(t, "MatMulInto "+label, got, want)
+					DefaultArena.Put(got)
+
+					bt := randMat(rng, n, k)
+					gotB := dirty(m, n)
+					MatMulTransBInto(gotB, a, bt)
+					equalBits(t, "MatMulTransBInto "+label, gotB, naiveMatMulTransB(a, bt))
+					DefaultArena.Put(gotB)
+
+					at := randMat(rng, k, m)
+					gotA := dirty(m, n)
+					MatMulTransAInto(gotA, at, b)
+					wantA := naiveMatMulTransA(at, b)
+					for i := range wantA.Data {
+						if d := math.Abs(gotA.Data[i] - wantA.Data[i]); d > 1e-9*(1+math.Abs(wantA.Data[i])) {
+							t.Fatalf("MatMulTransAInto %s diverges at %d: %v vs %v",
+								label, i, gotA.Data[i], wantA.Data[i])
+						}
+					}
+					DefaultArena.Put(gotA)
+				}
+			}
+		}
+	}
 }

@@ -2,17 +2,11 @@ package tensor
 
 import "fmt"
 
-// Blocking parameters for the packed MatMul kernel. B is repacked into
-// KC×NC panels so the inner axpy loop streams a contiguous panel row that
-// stays resident in L1/L2 while the kernel sweeps the rows of A. With
-// float64 a panel block is at most 256×128×8 = 256 KiB.
-const (
-	mmKC = 256 // k-extent of a packed panel block
-	mmNC = 128 // j-extent of a packed panel block
-	// mmSmall is the flop count below which packing and fan-out cost more
-	// than they save; such products run on the plain serial kernel.
-	mmSmall = 32 * 1024
-)
+// The MatMul family dispatches between two interchangeable kernel sets that
+// produce bit-identical results: the PR-1 cache-blocked reference kernels in
+// linalg_ref.go (also the TileM == 0 autotune fallback) and the
+// register-blocked micro-kernels in microkernel.go fed by the panel packers
+// in micro.go. The active tile shape and packing cutoff live in autotune.go.
 
 func checkMat2(op string, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
@@ -50,78 +44,32 @@ func MatMulInto(dst, a, b *Tensor) {
 	matMulKernel(dst.Data, a.Data, b.Data, m, k, n)
 }
 
-// matMulKernel is the shared C = A·B implementation.
+// matMulKernel is the shared C = A·B dispatcher: small products run the
+// serial axpy loop, the 0×0 tile runs the reference blocked kernel, and
+// everything else packs B into NR-wide panels once and streams the
+// register-blocked row driver over them.
 func matMulKernel(c, a, b []float64, m, k, n int) {
-	if m*k*n < mmSmall {
-		clear(c[:m*n])
-		for i := 0; i < m; i++ {
-			ci := c[i*n : (i+1)*n]
-			ai := a[i*k : (i+1)*k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
-				}
-			}
-		}
+	if m*k*n < SmallCutoff() {
+		refMatMulSerial(c, a, b, m, k, n)
 		return
 	}
-	// Pack B once into block-major panels: jc-major, kc-minor, each block
-	// row-major kb×nb. Compute walks blocks in the same order with a
-	// running offset, so no block index arithmetic is needed.
-	packed := DefaultArena.GetSlice(k * n)
-	off := 0
-	for jc := 0; jc < n; jc += mmNC {
-		nb := min(mmNC, n-jc)
-		for kc := 0; kc < k; kc += mmKC {
-			kb := min(mmKC, k-kc)
-			for p := 0; p < kb; p++ {
-				src := b[(kc+p)*n+jc:]
-				copy(packed[off+p*nb:off+(p+1)*nb], src[:nb])
-			}
-			off += kb * nb
-		}
+	mr, nr := TileShape()
+	if mr == 0 {
+		refMatMulKernel(c, a, b, m, k, n)
+		return
 	}
-	// The serial branch calls the row kernel directly: constructing the
+	bp := DefaultArena.GetSlice(k * n)
+	packPanels(bp, b, k, n, n, nr)
+	// The serial branch calls the row driver directly: constructing the
 	// closure would heap-allocate even when it is never sent to the pool.
 	if ParallelChunks(m) <= 1 {
-		matMulPackedRows(c, a, packed, 0, m, k, n)
+		microMatMulRows(c, a, bp, 0, m, k, n, mr, nr)
 	} else {
 		Parallel(m, func(lo, hi int) {
-			matMulPackedRows(c, a, packed, lo, hi, k, n)
+			microMatMulRows(c, a, bp, lo, hi, k, n, mr, nr)
 		})
 	}
-	DefaultArena.PutSlice(packed)
-}
-
-// matMulPackedRows computes rows [lo, hi) of C = A·B against the block-major
-// packed copy of B, walking the blocks with a running offset in pack order.
-func matMulPackedRows(c, a, packed []float64, lo, hi, k, n int) {
-	clear(c[lo*n : hi*n])
-	off := 0
-	for jc := 0; jc < n; jc += mmNC {
-		nb := min(mmNC, n-jc)
-		for kc := 0; kc < k; kc += mmKC {
-			kb := min(mmKC, k-kc)
-			for i := lo; i < hi; i++ {
-				ai := a[i*k+kc : i*k+kc+kb]
-				ci := c[i*n+jc : i*n+jc+nb]
-				for p, av := range ai {
-					if av == 0 {
-						continue
-					}
-					brow := packed[off+p*nb : off+(p+1)*nb]
-					for j, bv := range brow {
-						ci[j] += av * bv
-					}
-				}
-			}
-			off += kb * nb
-		}
-	}
+	DefaultArena.PutSlice(bp)
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n, yielding m×n.
@@ -184,21 +132,25 @@ func matMulTransAPool(pool *WorkerPool, dst, a, b *Tensor) {
 }
 
 // transAAccum accumulates local += A[lo:hi, :]ᵀ · B[lo:hi, :] where A is k×m
-// and B is k×n; local is an m×n buffer the caller has zeroed.
+// and B is k×n; local is an m×n buffer the caller has zeroed (or holds a
+// prior chunk's partial). Large chunks pack both operand slabs into panels
+// and run the accumulate-mode tile driver; the result is bit-identical to
+// the reference loop because every element still extends its own
+// accumulator chain over p ascending.
 func transAAccum(local, a, b []float64, lo, hi, m, n int) {
-	for p := lo; p < hi; p++ {
-		ap := a[p*m : (p+1)*m]
-		bp := b[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			li := local[i*n : i*n+n]
-			for j, bv := range bp {
-				li[j] += av * bv
-			}
-		}
+	kk := hi - lo
+	mr, nr := TileShape()
+	if mr == 0 || kk*m*n < SmallCutoff() {
+		refTransAAccum(local, a, b, lo, hi, m, n)
+		return
 	}
+	ap := DefaultArena.GetSlice(kk * m)
+	bp := DefaultArena.GetSlice(kk * n)
+	packPanels(ap, a[lo*m:], kk, m, m, mr)
+	packPanels(bp, b[lo*n:], kk, n, n, nr)
+	microTransAPanels(local, ap, bp, kk, m, n, mr, nr)
+	DefaultArena.PutSlice(bp)
+	DefaultArena.PutSlice(ap)
 }
 
 // MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
@@ -224,47 +176,36 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
 	}
 	checkDst("MatMulTransBInto", dst, m, n)
-	c := dst.Data
-	if ParallelChunks(m) <= 1 {
-		matMulTransBRows(c, a.Data, b.Data, 0, m, k, n)
-	} else {
-		Parallel(m, func(lo, hi int) {
-			matMulTransBRows(c, a.Data, b.Data, lo, hi, k, n)
-		})
-	}
+	matMulTransBKernel(dst.Data, a.Data, b.Data, m, k, n)
 }
 
-// matMulTransBRows computes rows [lo, hi) of C = A·Bᵀ with a 4-wide column
-// unroll; each accumulator sums over p in ascending order, so results are
-// bit-identical regardless of the unroll.
-func matMulTransBRows(c, a, b []float64, lo, hi, k, n int) {
-	for i := lo; i < hi; i++ {
-		ai := a[i*k : (i+1)*k]
-		ci := c[i*n : (i+1)*n]
-		j := 0
-		for ; j+4 <= n; j += 4 {
-			b0 := b[j*k : (j+1)*k]
-			b1 := b[(j+1)*k : (j+2)*k]
-			b2 := b[(j+2)*k : (j+3)*k]
-			b3 := b[(j+3)*k : (j+4)*k]
-			var s0, s1, s2, s3 float64
-			for p, av := range ai {
-				s0 += av * b0[p]
-				s1 += av * b1[p]
-				s2 += av * b2[p]
-				s3 += av * b3[p]
-			}
-			ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+// matMulTransBKernel dispatches C = A·Bᵀ. The rows of B are the columns of
+// the effective right operand, so packRowsT re-interleaves them into exactly
+// the NR-wide panel layout microMatMulRows streams; small products and the
+// 0×0 tile keep the reference 4-wide dot kernel. Both paths sum each output
+// element over p ascending, so they are bit-identical.
+func matMulTransBKernel(c, a, b []float64, m, k, n int) {
+	mr, nr := TileShape()
+	if mr == 0 || m*k*n < SmallCutoff() {
+		if ParallelChunks(m) <= 1 {
+			refMatMulTransBRows(c, a, b, 0, m, k, n)
+		} else {
+			Parallel(m, func(lo, hi int) {
+				refMatMulTransBRows(c, a, b, lo, hi, k, n)
+			})
 		}
-		for ; j < n; j++ {
-			bj := b[j*k : (j+1)*k]
-			var s float64
-			for p, av := range ai {
-				s += av * bj[p]
-			}
-			ci[j] = s
-		}
+		return
 	}
+	bp := DefaultArena.GetSlice(n * k)
+	packRowsT(bp, b, n, k, k, nr)
+	if ParallelChunks(m) <= 1 {
+		microMatMulRows(c, a, bp, 0, m, k, n, mr, nr)
+	} else {
+		Parallel(m, func(lo, hi int) {
+			microMatMulRows(c, a, bp, lo, hi, k, n, mr, nr)
+		})
+	}
+	DefaultArena.PutSlice(bp)
 }
 
 // Transpose returns Aᵀ for a rank-2 tensor.

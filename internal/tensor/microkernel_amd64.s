@@ -1,0 +1,214 @@
+// SSE2 packed-double 4×4 micro-kernel. SSE2 is part of the amd64 baseline
+// (GOAMD64=v1), so this file needs no CPU feature detection; it deliberately
+// avoids SSE3+ instructions (broadcasts are MOVSD+UNPCKLPD, not MOVDDUP).
+//
+// Bit-identity: MULPD/ADDPD apply IEEE-754 multiply/add to each 64-bit lane
+// independently, so every output element still extends a single accumulator
+// chain over p in ascending order — the same bits as the scalar kernels.
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// Reports whether the CPU supports AVX and the OS saves YMM state
+// (CPUID.1:ECX AVX+OSXSAVE, then XCR0 bits 1-2 via XGETBV). Checked once at
+// init; gates mm4x4avx.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $1
+	JLT  noavx
+	MOVL $1, AX
+	CPUID
+	MOVL CX, BX
+	ANDL $0x18000000, BX
+	CMPL BX, $0x18000000
+	JNE  noavx
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func mm4x4avx(ap, bp *float64, k int, c *float64, ldc int, accum int)
+//
+// The AVX twin of mm4x4sse: each accumulator row is one YMM register, so a
+// k-step is one B-row load, four broadcasts, and four VMULPD/VADDPD pairs —
+// 32 flops in ~4 FP-port cycles, double the SSE2 ceiling. Deliberately no
+// FMA: a fused multiply-add skips the intermediate rounding and would break
+// bit-identity with the scalar kernels; VMULPD+VADDPD round each lane
+// exactly like MULSD+ADDSD.
+TEXT ·mm4x4avx(SB), NOSPLIT, $0-48
+	MOVQ ap+0(FP), SI
+	MOVQ bp+8(FP), CX
+	MOVQ k+16(FP), DX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), BX
+	SHLQ $3, BX
+
+	MOVQ accum+40(FP), AX
+	TESTQ AX, AX
+	JZ   avxzero
+
+	MOVQ DI, AX
+	VMOVUPD (AX), Y0
+	ADDQ BX, AX
+	VMOVUPD (AX), Y1
+	ADDQ BX, AX
+	VMOVUPD (AX), Y2
+	ADDQ BX, AX
+	VMOVUPD (AX), Y3
+	JMP  avxbody
+
+avxzero:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+avxbody:
+	TESTQ DX, DX
+	JLE  avxdone
+
+avxloop:
+	VMOVUPD (CX), Y4       // b[p][0..3]
+	VBROADCASTSD (SI), Y5
+	VMULPD Y4, Y5, Y5
+	VADDPD Y5, Y0, Y0
+	VBROADCASTSD 8(SI), Y6
+	VMULPD Y4, Y6, Y6
+	VADDPD Y6, Y1, Y1
+	VBROADCASTSD 16(SI), Y7
+	VMULPD Y4, Y7, Y7
+	VADDPD Y7, Y2, Y2
+	VBROADCASTSD 24(SI), Y8
+	VMULPD Y4, Y8, Y8
+	VADDPD Y8, Y3, Y3
+	ADDQ $32, SI
+	ADDQ $32, CX
+	DECQ DX
+	JNE  avxloop
+
+avxdone:
+	MOVQ DI, AX
+	VMOVUPD Y0, (AX)
+	ADDQ BX, AX
+	VMOVUPD Y1, (AX)
+	ADDQ BX, AX
+	VMOVUPD Y2, (AX)
+	ADDQ BX, AX
+	VMOVUPD Y3, (AX)
+	VZEROUPPER
+	RET
+
+// func mm4x4sse(ap, bp *float64, k int, c *float64, ldc int, accum int)
+//
+// Advances a 4×4 tile over full-k packed panels: ap is the 4-interleaved A
+// panel (ap[p*4+r] = A[r][p]), bp the 4-interleaved B panel (bp[p*4+j] =
+// B[p][j]). The tile lives in XMM8–XMM15 as row-major pairs of columns;
+// accum != 0 loads the initial accumulators from the C tile at c (row
+// stride ldc elements), accum == 0 starts them at +0. The finished tile is
+// stored back to c. Loads/stores are MOVUPS: Go float64 slices are only
+// 8-byte aligned.
+TEXT ·mm4x4sse(SB), NOSPLIT, $0-48
+	MOVQ ap+0(FP), SI
+	MOVQ bp+8(FP), CX
+	MOVQ k+16(FP), DX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), BX
+	SHLQ $3, BX            // row stride in bytes
+
+	MOVQ accum+40(FP), AX
+	TESTQ AX, AX
+	JZ   zeroacc
+
+	MOVQ DI, AX
+	MOVUPS (AX), X8
+	MOVUPS 16(AX), X9
+	ADDQ BX, AX
+	MOVUPS (AX), X10
+	MOVUPS 16(AX), X11
+	ADDQ BX, AX
+	MOVUPS (AX), X12
+	MOVUPS 16(AX), X13
+	ADDQ BX, AX
+	MOVUPS (AX), X14
+	MOVUPS 16(AX), X15
+	JMP  body
+
+zeroacc:
+	XORPS X8, X8
+	XORPS X9, X9
+	XORPS X10, X10
+	XORPS X11, X11
+	XORPS X12, X12
+	XORPS X13, X13
+	XORPS X14, X14
+	XORPS X15, X15
+
+body:
+	TESTQ DX, DX
+	JLE  done
+
+loop:
+	MOVUPS (CX), X0        // b[p][0] b[p][1]
+	MOVUPS 16(CX), X1      // b[p][2] b[p][3]
+
+	// Row 0: broadcast a[0][p]; the broadcast register doubles as the
+	// second pair's product temp, saving a register copy per row.
+	MOVSD (SI), X2
+	UNPCKLPD X2, X2
+	MOVAPS X0, X3
+	MULPD X2, X3
+	ADDPD X3, X8
+	MULPD X1, X2
+	ADDPD X2, X9
+
+	MOVSD 8(SI), X4
+	UNPCKLPD X4, X4
+	MOVAPS X0, X5
+	MULPD X4, X5
+	ADDPD X5, X10
+	MULPD X1, X4
+	ADDPD X4, X11
+
+	MOVSD 16(SI), X6
+	UNPCKLPD X6, X6
+	MOVAPS X0, X7
+	MULPD X6, X7
+	ADDPD X7, X12
+	MULPD X1, X6
+	ADDPD X6, X13
+
+	MOVSD 24(SI), X2
+	UNPCKLPD X2, X2
+	MOVAPS X0, X3
+	MULPD X2, X3
+	ADDPD X3, X14
+	MULPD X1, X2
+	ADDPD X2, X15
+
+	ADDQ $32, SI
+	ADDQ $32, CX
+	DECQ DX
+	JNE  loop
+
+done:
+	MOVQ DI, AX
+	MOVUPS X8, (AX)
+	MOVUPS X9, 16(AX)
+	ADDQ BX, AX
+	MOVUPS X10, (AX)
+	MOVUPS X11, 16(AX)
+	ADDQ BX, AX
+	MOVUPS X12, (AX)
+	MOVUPS X13, 16(AX)
+	ADDQ BX, AX
+	MOVUPS X14, (AX)
+	MOVUPS X15, 16(AX)
+	RET

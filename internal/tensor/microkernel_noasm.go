@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// hasSSETile is false off amd64: the (4,4) tile shape falls back to the
+// portable Go mm4x4 kernel and the default tile is (2,4).
+const hasSSETile = false
+
+// mm4x4tile is never called when hasSSETile is false; the stub keeps the
+// drivers' call sites building on every architecture.
+func mm4x4tile(ap, bp *float64, k int, c *float64, ldc int, accum int) {
+	panic("tensor: mm4x4tile is amd64-only")
+}

@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// bigMeanVariance computes the exact mean and population variance of x in
+// 200-bit arithmetic — the oracle the compensated float64 versions are
+// checked against.
+func bigMeanVariance(x []float64) (mean, variance float64) {
+	const prec = 200
+	sum := new(big.Float).SetPrec(prec)
+	for _, v := range x {
+		sum.Add(sum, new(big.Float).SetPrec(prec).SetFloat64(v))
+	}
+	n := new(big.Float).SetPrec(prec).SetInt64(int64(len(x)))
+	m := new(big.Float).SetPrec(prec).Quo(sum, n)
+
+	ss := new(big.Float).SetPrec(prec)
+	for _, v := range x {
+		d := new(big.Float).SetPrec(prec).Sub(new(big.Float).SetPrec(prec).SetFloat64(v), m)
+		ss.Add(ss, d.Mul(d, d))
+	}
+	ss.Quo(ss, n)
+	mean, _ = m.Float64()
+	variance, _ = ss.Float64()
+	return mean, variance
+}
+
+// TestMeanVarianceCompensated drives the compensated Mean/Variance over a
+// million-element vector deliberately hostile to naive running sums — a
+// large common offset with small jitter, so the squared deviations live ~16
+// orders of magnitude below the raw values — and checks both against a
+// big.Float reference.
+func TestMeanVarianceCompensated(t *testing.T) {
+	const n = 1_000_000
+	x := make([]float64, n)
+	rng := NewRNG(2024)
+	rng.FillNormal(x, 0, 1)
+	for i := range x {
+		x[i] = 1e8 + x[i]
+	}
+
+	wantMean, wantVar := bigMeanVariance(x)
+	gotMean, gotVar := Mean(x), Variance(x)
+
+	if relErr(gotMean, wantMean) > 1e-15 {
+		t.Errorf("Mean = %.17g, want %.17g (rel err %.3g)", gotMean, wantMean, relErr(gotMean, wantMean))
+	}
+	// The second pass squares ~1-magnitude deviations, so float64 keeps
+	// nearly full precision; 1e-12 relative leaves slack for the division.
+	if relErr(gotVar, wantVar) > 1e-12 {
+		t.Errorf("Variance = %.17g, want %.17g (rel err %.3g)", gotVar, wantVar, relErr(gotVar, wantVar))
+	}
+
+	// Sanity: the naive single-chain sum this replaced really does drift on
+	// the same input — otherwise this regression test guards nothing.
+	var naive float64
+	for _, v := range x {
+		naive += v
+	}
+	if relErr(naive/n, wantMean) <= relErr(gotMean, wantMean) {
+		t.Logf("naive mean rel err %.3g, compensated %.3g — input no longer stresses compensation",
+			relErr(naive/n, wantMean), relErr(gotMean, wantMean))
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

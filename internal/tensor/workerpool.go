@@ -1,9 +1,7 @@
 package tensor
 
 import (
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -44,25 +42,13 @@ var serialCutoff int64 = 64
 
 // partitionGrain is the maximum chunk count Chunks partitions a range into.
 // It is captured from GOMAXPROCS at startup (and can be pinned with
-// SetPartitionGrain or GMREG_PARTITION_GRAIN) rather than read from each
-// pool's width so that the partition — and therefore every per-chunk
-// floating-point reduction — is a pure function of n, identical no matter
-// which pool executes the job or how many replicas share the machine.
+// SetPartitionGrain, GMREG_PARTITION_GRAIN, or a persisted autotune config)
+// rather than read from each pool's width so that the partition — and
+// therefore every per-chunk floating-point reduction — is a pure function of
+// n, identical no matter which pool executes the job or how many replicas
+// share the machine. Startup initialization (defaults, then autotune file,
+// then env) lives in autotune.go's init so the precedence order is explicit.
 var partitionGrain int64
-
-func init() {
-	partitionGrain = int64(runtime.GOMAXPROCS(0))
-	if s := os.Getenv("GMREG_SERIAL_CUTOFF"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			serialCutoff = int64(v)
-		}
-	}
-	if s := os.Getenv("GMREG_PARTITION_GRAIN"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			partitionGrain = int64(v)
-		}
-	}
-}
 
 // SetPartitionGrain pins the maximum chunk count used by every pool's
 // partition. Fixing it to the same value on different machines makes
