@@ -7,7 +7,7 @@
 //	gmreg-bench -exp all
 //
 // Experiments: table4, table5, table6, table7, table8, fig3, fig4, fig5,
-// fig6, fig7, hotpath, serve, dataparallel, autotune, all. Scales: small
+// fig6, fig7, hotpath, serve, dataparallel, distnet, autotune, all. Scales: small
 // (minutes) and full (hours on CPU; matches the paper's budgets where
 // feasible). See EXPERIMENTS.md for the recorded paper-vs-measured
 // comparison. The hotpath experiment benchmarks the allocating kernels
@@ -16,7 +16,10 @@
 // writes BENCH_hotpath.json; the serve experiment sweeps the micro-batching
 // predictor's batch-window settings under concurrent load and writes
 // BENCH_serve.json; the dataparallel experiment sweeps dist.Network replica
-// counts × prefetch and writes BENCH_dataparallel.json; the autotune
+// counts × prefetch and writes BENCH_dataparallel.json; the distnet
+// experiment sweeps multi-process trainer counts over loopback TCP
+// (coordinator + R trainers, final loss checked bit-equal to the sequential
+// baseline) and writes BENCH_distnet.json; the autotune
 // experiment runs the kernel calibration sweep, writes BENCH_autotune.json,
 // and persists the winning config to the per-host cache file
 // (~/.cache/gmreg/autotune-<hostname>-<gomaxprocs>.json, honored at startup
@@ -44,7 +47,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|dataparallel|autotune|ablations|all")
+		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|dataparallel|distnet|autotune|ablations|all")
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")

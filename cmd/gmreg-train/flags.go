@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+
+	"gmreg/internal/train"
+)
+
+// runFlags is the subset of the flag surface whose combinations can
+// contradict each other. checkFlagConflicts validates it up front so the
+// user gets one clear line at startup instead of a config-echo error deep
+// inside the trainer (or a silently ignored flag).
+type runFlags struct {
+	Coordinator string // -coordinator listen address ("" = off)
+	Join        string // -join coordinator address ("" = off)
+	Trainers    int    // -trainers quorum
+	Workers     int    // -workers in-process replicas
+	Shard       int    // -shard micro-shard size (0 = defaulted)
+	Batch       int    // -batch minibatch size
+	Dataset     string // -dataset
+	Model       string // -model
+	CSV         string // -csv path ("" = off)
+	Resume      string // -resume path ("" = off)
+	Save        string // -save store key ("" = off)
+
+	// ResumeState is the loaded -resume checkpoint when one was given (nil
+	// in trainer mode, where the state is never loaded).
+	ResumeState *train.State
+}
+
+// checkFlagConflicts rejects contradictory flag combinations with a one-line
+// error. It runs after flag parsing and (outside trainer mode) after the
+// -resume checkpoint has been loaded, so the shard-geometry echo can be
+// compared before any training machinery is built.
+func checkFlagConflicts(f runFlags) error {
+	if f.Coordinator != "" && f.Join != "" {
+		return fmt.Errorf("-coordinator and -join are mutually exclusive: a process is either the coordinator or a trainer")
+	}
+	if f.Join != "" {
+		switch {
+		case f.Resume != "":
+			return fmt.Errorf("-join cannot use -resume: training state lives on the coordinator (resume there)")
+		case f.Save != "":
+			return fmt.Errorf("-join cannot use -save: the coordinator holds the authoritative model (save there)")
+		case f.Workers > 1:
+			return fmt.Errorf("-join cannot use -workers: a trainer's work assignment comes from the coordinator")
+		}
+		return nil
+	}
+	if f.Coordinator != "" {
+		switch {
+		case f.Trainers < 1:
+			return fmt.Errorf("-coordinator needs -trainers >= 1, got %d", f.Trainers)
+		case f.Workers > 1:
+			return fmt.Errorf("-workers (in-process replicas) and -coordinator (multi-process trainers) are mutually exclusive; use -trainers")
+		case f.CSV != "":
+			return fmt.Errorf("-coordinator does not support -csv: distributed training covers -dataset cifar and tabular datasets with -model mlp")
+		case f.Dataset != "cifar" && f.Model != "mlp":
+			return fmt.Errorf("-coordinator needs a network model: use -dataset cifar, or -model mlp for a tabular dataset")
+		}
+	}
+	if f.Resume != "" && f.ResumeState != nil && f.ResumeState.Kind == train.KindNetwork {
+		eff := effectiveShard(f)
+		if f.ResumeState.ShardSize != eff {
+			return fmt.Errorf("-resume checkpoint was written with effective shard size %d, but -shard %d -workers %d -trainers %d -batch %d gives %d; rerun with -shard %d",
+				f.ResumeState.ShardSize, f.Shard, f.Workers, f.Trainers, f.Batch, eff, f.ResumeState.ShardSize)
+		}
+	}
+	return nil
+}
+
+// effectiveShard mirrors the trainers' shard-size defaulting: an explicit
+// -shard wins; otherwise dist.Network and the distnet coordinator split the
+// batch over the replica/trainer count, and the sequential trainer runs the
+// whole batch as one shard. (The trainers additionally clamp to the batch
+// after it is clamped to the dataset size; tiny datasets should pin -shard.)
+func effectiveShard(f runFlags) int {
+	width := 1
+	switch {
+	case f.Coordinator != "":
+		width = f.Trainers
+	case f.Workers > 1:
+		width = f.Workers
+	}
+	ss := f.Shard
+	if ss <= 0 {
+		ss = (f.Batch + width - 1) / width
+	}
+	if ss > f.Batch {
+		ss = f.Batch
+	}
+	return ss
+}

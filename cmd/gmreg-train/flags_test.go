@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gmreg/internal/train"
+)
+
+func TestCheckFlagConflicts(t *testing.T) {
+	// A network checkpoint written at effective shard size 8.
+	ckpt := &train.State{Kind: train.KindNetwork, ShardSize: 8}
+	base := runFlags{Trainers: 1, Workers: 1, Batch: 32, Dataset: "horse-colic", Model: "alex"}
+
+	cases := []struct {
+		name    string
+		mutate  func(*runFlags)
+		wantErr string // "" = must pass
+	}{
+		{"defaults", func(f *runFlags) {}, ""},
+		{"coordinator-cifar", func(f *runFlags) {
+			f.Coordinator = ":0"
+			f.Dataset, f.Trainers = "cifar", 2
+		}, ""},
+		{"coordinator-tabular-mlp", func(f *runFlags) {
+			f.Coordinator, f.Model = ":0", "mlp"
+		}, ""},
+		{"join-plain", func(f *runFlags) { f.Join = "127.0.0.1:7600" }, ""},
+		{"coordinator-and-join", func(f *runFlags) {
+			f.Coordinator, f.Join = ":0", "127.0.0.1:7600"
+		}, "mutually exclusive"},
+		{"join-with-resume", func(f *runFlags) {
+			f.Join, f.Resume = "127.0.0.1:7600", "ckpt"
+		}, "cannot use -resume"},
+		{"join-with-save", func(f *runFlags) {
+			f.Join, f.Save = "127.0.0.1:7600", "model"
+		}, "cannot use -save"},
+		{"join-with-workers", func(f *runFlags) {
+			f.Join, f.Workers = "127.0.0.1:7600", 4
+		}, "cannot use -workers"},
+		{"coordinator-with-workers", func(f *runFlags) {
+			f.Coordinator, f.Dataset, f.Workers = ":0", "cifar", 4
+		}, "mutually exclusive"},
+		{"coordinator-no-quorum", func(f *runFlags) {
+			f.Coordinator, f.Dataset, f.Trainers = ":0", "cifar", 0
+		}, "-trainers >= 1"},
+		{"coordinator-with-csv", func(f *runFlags) {
+			f.Coordinator, f.Dataset, f.CSV = ":0", "cifar", "data.csv"
+		}, "-csv"},
+		{"coordinator-tabular-logreg", func(f *runFlags) {
+			f.Coordinator = ":0" // dataset horse-colic, model alex: no network
+		}, "needs a network model"},
+		{"resume-matching-shard", func(f *runFlags) {
+			f.Resume, f.ResumeState, f.Shard = "ckpt", ckpt, 8
+		}, ""},
+		{"resume-matching-workers-default", func(f *runFlags) {
+			// batch 32 over 4 workers defaults to shard 8: matches.
+			f.Resume, f.ResumeState, f.Workers = "ckpt", ckpt, 4
+		}, ""},
+		{"resume-mismatched-shard", func(f *runFlags) {
+			f.Resume, f.ResumeState, f.Shard = "ckpt", ckpt, 4
+		}, "effective shard size 8"},
+		{"resume-mismatched-workers", func(f *runFlags) {
+			// batch 32 over 2 workers defaults to shard 16 != 8.
+			f.Resume, f.ResumeState, f.Workers = "ckpt", ckpt, 2
+		}, "effective shard size 8"},
+		{"resume-mismatched-sequential", func(f *runFlags) {
+			// sequential default is the whole batch (32) != 8.
+			f.Resume, f.ResumeState = "ckpt", ckpt
+		}, "effective shard size 8"},
+		{"resume-logreg-ignores-shard", func(f *runFlags) {
+			f.Resume = "ckpt"
+			f.ResumeState = &train.State{Kind: train.KindLogReg, ShardSize: 8}
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base
+			tc.mutate(&f)
+			err := checkFlagConflicts(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("conflict error is not one line: %q", err)
+			}
+		})
+	}
+}

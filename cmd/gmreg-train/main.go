@@ -22,6 +22,17 @@
 // micro-shard size so results are bit-identical across worker counts;
 // -prefetch overlaps batch assembly with compute.
 //
+// -coordinator ADDR runs the process as the multi-process distributed
+// coordinator (DESIGN.md §13): it listens on ADDR, waits for -trainers
+// trainer processes, and drives synchronous data-parallel SGD over TCP with
+// elastic membership. -join ADDR runs the process as a trainer serving that
+// coordinator; trainers hold no state and need no data or model flags.
+// Distributed training covers the network models: -dataset cifar, or a
+// tabular dataset with -model mlp (which also works sequentially and with
+// -workers, with -hidden hidden units). With -shard pinned, final weights
+// are byte-equal to the sequential run at any trainer count, even across
+// trainer crashes.
+//
 // -telemetry FILE streams per-epoch training telemetry as JSON Lines: one
 // "epoch" record (loss, LR, wall time, arena/pool counters), one "gm" record
 // per parameter group (π, λ, component count, lazy-update skip ratio), and a
@@ -59,6 +70,7 @@ import (
 	"gmreg/internal/core"
 	"gmreg/internal/data"
 	"gmreg/internal/dist"
+	"gmreg/internal/distnet"
 	"gmreg/internal/models"
 	"gmreg/internal/nn"
 	"gmreg/internal/obs"
@@ -92,6 +104,12 @@ func main() {
 		prefetch  = cli.Prefetch(flag.CommandLine)
 		telemetry = cli.Telemetry(flag.CommandLine)
 
+		coord    = cli.Coordinator(flag.CommandLine)
+		join     = cli.Join(flag.CommandLine)
+		trainers = cli.Trainers(flag.CommandLine)
+		hidden   = flag.Int("hidden", 16, "hidden units for -model mlp (tabular datasets)")
+		dieAfter = flag.Int("die-after-steps", 0, "fault injection (-join only): kill the trainer process after N global steps (testing only)")
+
 		ckptEvery  = flag.Int("ckpt-every", 0, "write a training-state checkpoint every N epochs (0 = off; needs -ckpt-dir)")
 		ckptDir    = flag.String("ckpt-dir", "", "directory for training-state checkpoints")
 		ckptRetain = flag.Int("ckpt-retain", 0, "checkpoint files to keep, oldest pruned first (0 = default 3)")
@@ -101,6 +119,22 @@ func main() {
 	flag.Parse()
 	gmSnapshotPath = *saveGM
 	saveKey, savePath = *save, *stPath
+
+	flags := runFlags{
+		Coordinator: *coord, Join: *join, Trainers: *trainers,
+		Workers: *workers, Shard: *shard, Batch: *batch,
+		Dataset: *dataset, Model: *model, CSV: *csvPath,
+		Resume: *resume, Save: *save,
+	}
+	if *join != "" {
+		if err := checkFlagConflicts(flags); err != nil {
+			fatal(err)
+		}
+		if err := distnet.RunTrainer(distnet.TrainerConfig{Addr: *join, DieAfterSteps: *dieAfter}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	sink, done, err := cli.OpenTelemetry(*telemetry)
 	if err != nil {
@@ -129,7 +163,17 @@ func main() {
 		fatal(err)
 	}
 	cfg.Ckpt = pol
+	if pol != nil {
+		flags.ResumeState = pol.Resume
+	}
+	if err := checkFlagConflicts(flags); err != nil {
+		fatal(err)
+	}
 	installSignalStop(&cfg)
+	net := netConfig{Coordinator: *coord, Trainers: *trainers, Workers: *workers}
+	if pol != nil {
+		net.SnapshotDir = pol.Dir
+	}
 	if *csvPath != "" {
 		if err := runCSV(*csvPath, *label, cfg, factory, *seed); err != nil {
 			fatal(err)
@@ -137,7 +181,13 @@ func main() {
 		return
 	}
 	if *dataset == "cifar" {
-		if err := runCIFAR(*model, cfg, factory, *trainN, *testN, *size, *seed, *workers); err != nil {
+		if err := runCIFAR(*model, cfg, factory, *trainN, *testN, *size, *seed, net); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *model == "mlp" {
+		if err := runTabularMLP(*dataset, cfg, factory, *seed, *hidden, net); err != nil {
 			fatal(err)
 		}
 		return
@@ -145,6 +195,106 @@ func main() {
 	if err := runTabular(*dataset, cfg, factory, *seed); err != nil {
 		fatal(err)
 	}
+}
+
+// netConfig selects how a network model trains: sequential, in-process
+// data-parallel (-workers), or multi-process distributed (-coordinator).
+type netConfig struct {
+	Coordinator string
+	Trainers    int
+	Workers     int
+	SnapshotDir string
+}
+
+// trainNetwork dispatches a network training job according to the -workers/
+// -coordinator flags; net must match spec.
+func trainNetwork(netw *nn.Network, set *data.ImageSet, spec models.Spec, cfg train.SGDConfig, factory gmreg.Factory, nc netConfig) (*train.NetworkResult, error) {
+	switch {
+	case nc.Coordinator != "":
+		fmt.Printf("coordinator: listening on %s, waiting for %d trainer(s)\n", nc.Coordinator, nc.Trainers)
+		stats := &distnet.RunStats{}
+		res, err := distnet.Coordinate(netw, set, distnet.Config{
+			Addr:        nc.Coordinator,
+			Spec:        spec,
+			MinTrainers: nc.Trainers,
+			Prefetch:    cfg.Prefetch,
+			SGD:         cfg,
+			SnapshotDir: nc.SnapshotDir,
+			Stats:       stats,
+		}, factory)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("distributed: %d joins, %d deaths, %d re-issued steps, %d B in, %d B out\n",
+			stats.Joins, stats.Deaths, stats.StepRedos, stats.BytesIn, stats.BytesOut)
+		return res, nil
+	case nc.Workers > 1:
+		fmt.Printf("data-parallel: %d replicas\n", nc.Workers)
+		return dist.Network(netw, set, dist.NetConfig{Replicas: nc.Workers, Prefetch: cfg.Prefetch, SGD: cfg}, factory)
+	default:
+		return train.Network(netw, set, cfg, factory)
+	}
+}
+
+// runTabularMLP trains the shared-spec MLP on a tabular dataset through the
+// network trainers, so the same job can run sequentially, data-parallel, or
+// across processes with byte-comparable checkpoints (the distnet CI smoke
+// job relies on this path).
+func runTabularMLP(name string, cfg train.SGDConfig, factory gmreg.Factory, seed uint64, hidden int, nc netConfig) error {
+	var task *data.Task
+	if name == "hosp-fa" {
+		task = data.GenerateHospFA(data.DefaultHospFA(), seed)
+	} else {
+		var err error
+		task, err = data.LoadUCI(name, seed)
+		if err != nil {
+			return err
+		}
+	}
+	set := data.TabularImageSet(task)
+	spec := models.Spec{Family: "mlp", In: set.C, Hidden: hidden, Classes: set.Classes}
+	netw, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s: %d samples × %d features\n", task.Name, set.N, set.C)
+	fmt.Printf("model mlp: %d regularized parameters\n", netw.NumParams(true))
+	res, err := trainNetwork(netw, set, spec, cfg, factory, nc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final training loss: %.4f (%.2fs)\n", res.History.FinalLoss(), res.History.TotalTime().Seconds())
+	fmt.Printf("train accuracy: %.3f\n", train.EvalNetwork(netw, set, 64))
+	if err := refuseSaveInterrupted(); err != nil {
+		return err
+	}
+	var names []string
+	for n := range res.Regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	gms := map[string]*core.GM{}
+	for _, n := range names {
+		if g, ok := res.Regs[n].(*core.GM); ok {
+			printGM(n, g)
+			gms[n] = g
+		}
+	}
+	if saveKey != "" {
+		var gmBlob []byte
+		if len(gms) > 0 {
+			if gmBlob, err = json.Marshal(gms); err != nil {
+				return err
+			}
+		}
+		meta := map[string]string{
+			"dataset": task.Name,
+			"model":   "mlp",
+			"seed":    fmt.Sprintf("%d", seed),
+		}
+		return saveCheckpoint(spec, netw, gmBlob, meta)
+	}
+	return nil
 }
 
 // runCSV trains logistic regression on a user-provided CSV table.
@@ -330,25 +480,20 @@ func trainAndReport(task *data.Task, cfg train.SGDConfig, factory gmreg.Factory,
 // gmSnapshotPath is the -save-gm destination ("" = disabled).
 var gmSnapshotPath string
 
-func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, testN, size int, seed uint64, workers int) error {
+func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, testN, size int, seed uint64, nc netConfig) error {
 	spec := data.DefaultCIFAR(trainN, testN)
 	spec.Size = size
 	trainSet, testSet := data.GenerateCIFAR(spec, seed)
 	rng := tensor.NewRNG(seed + 1)
 	var net = models.AlexCIFAR10(3, size, rng)
+	mspec := models.Spec{Family: "alex", InC: 3, Size: size}
 	if model == "resnet" {
 		net = models.ResNet20(3, size, rng)
+		mspec.Family = "resnet"
 		cfg.Augment = true
 	}
 	fmt.Printf("model %s: %d regularized parameters\n", model, net.NumParams(true))
-	var res *train.NetworkResult
-	var err error
-	if workers > 1 {
-		fmt.Printf("data-parallel: %d replicas\n", workers)
-		res, err = dist.Network(net, trainSet, dist.NetConfig{Replicas: workers, Prefetch: cfg.Prefetch, SGD: cfg}, factory)
-	} else {
-		res, err = train.Network(net, trainSet, cfg, factory)
-	}
+	res, err := trainNetwork(net, trainSet, mspec, cfg, factory, nc)
 	if err != nil {
 		return err
 	}

@@ -114,6 +114,17 @@ var registry = map[string]runner{
 		fmt.Fprintln(w, "wrote", AutotuneJSONPath)
 		return nil
 	},
+	"distnet": func(w io.Writer, s Scale, _ Options) error {
+		rep, err := RunDistnet(w, s)
+		if err != nil {
+			return err
+		}
+		if err := WriteDistnetJSON(DistnetJSONPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", DistnetJSONPath)
+		return nil
+	},
 	"dataparallel": func(w io.Writer, s Scale, _ Options) error {
 		rep, err := RunDataParallel(w, s)
 		if err != nil {

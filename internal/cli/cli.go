@@ -8,6 +8,9 @@
 //	-prefetch   background batch assembly         (gmreg-train)
 //	-telemetry  JSONL telemetry output path       (gmreg-train)
 //	-procs      GOMAXPROCS + partition grain      (gmreg-bench)
+//	-coordinator  distnet coordinator listen addr (gmreg-train)
+//	-join         distnet coordinator to dial     (gmreg-train)
+//	-trainers     distnet trainer quorum          (gmreg-train)
 //
 // Commands that reuse a word with a different meaning must say so in their
 // --help text: gmreg-serve's -replicas is serving replicas per model (not
@@ -44,6 +47,24 @@ func Workers(fs *flag.FlagSet) *int {
 // Shard registers the canonical -shard flag (micro-shard size).
 func Shard(fs *flag.FlagSet) *int {
 	return fs.Int("shard", 0, "micro-shard size for minibatches (0 = whole batch, or batch/workers when -workers > 1); pin it for bit-identical results across worker counts")
+}
+
+// Coordinator registers the canonical -coordinator flag (multi-process
+// training: run this process as the distnet coordinator).
+func Coordinator(fs *flag.FlagSet) *string {
+	return fs.String("coordinator", "", "run as distributed-training coordinator listening on this host:port (trainers connect with -join)")
+}
+
+// Join registers the canonical -join flag (multi-process training: run this
+// process as a distnet trainer).
+func Join(fs *flag.FlagSet) *string {
+	return fs.String("join", "", "run as distributed trainer: dial the coordinator at this host:port and compute shard gradients until the job finishes")
+}
+
+// Trainers registers the canonical -trainers flag (the quorum a coordinator
+// waits for before the first step; also the default shard partition width).
+func Trainers(fs *flag.FlagSet) *int {
+	return fs.Int("trainers", 1, "trainer processes the coordinator waits for before training starts (pin -shard for bit-identical results across counts)")
 }
 
 // Prefetch registers the canonical -prefetch flag.

@@ -1,0 +1,76 @@
+package distnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame hammers the codec with mutated streams: every outcome must
+// be either a successfully framed payload or one of the typed errors —
+// never a panic, and never an allocation driven by an unvalidated length
+// prefix (the MaxPayload check precedes the payload allocation, so a header
+// claiming 4 GiB costs nothing).
+func FuzzReadFrame(f *testing.F) {
+	frame := func(ft FrameType, v any) []byte {
+		var payload []byte
+		if v != nil {
+			payload, _ = encodePayload(v)
+		}
+		var buf bytes.Buffer
+		WriteFrame(&buf, ft, payload)
+		return buf.Bytes()
+	}
+	valid := frame(FrameStep, Step{Seq: 1, N: 4, Params: [][]float64{{1, 2}},
+		Shards: []Shard{{Index: 0, Shape: []int{1, 2}, X: []float64{3, 4}, Y: []int{1}}}})
+	f.Add(valid)
+	f.Add(frame(FrameHello, Hello{Name: "fuzz"}))
+	f.Add(frame(FrameBye, nil))
+	f.Add(valid[:headerLen-3])    // truncated header
+	f.Add(valid[:len(valid)-2])   // truncated payload
+	f.Add([]byte("XXXX garbage")) // bad magic
+	f.Add(bytes.Repeat(valid, 2)) // two frames back to back
+	skew := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint16(skew[4:], 7) // version skew
+	f.Add(skew)
+	big := append([]byte(nil), valid[:headerLen]...)
+	binary.BigEndian.PutUint32(big[7:], 0xfffffff0) // hostile length prefix
+	f.Add(big)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-1] ^= 1 // checksum mismatch
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := bytes.NewReader(b)
+		for {
+			ft, payload, n, err := ReadFrame(r)
+			if err != nil {
+				var ve *VersionError
+				switch {
+				case err == io.EOF,
+					errors.Is(err, ErrBadMagic),
+					errors.Is(err, ErrChecksum),
+					errors.Is(err, ErrFrameTooLarge),
+					errors.Is(err, ErrUnknownFrame),
+					errors.Is(err, ErrTruncated),
+					errors.As(err, &ve):
+					return // every failure is a typed error
+				default:
+					t.Fatalf("untyped error: %v", err)
+				}
+			}
+			if ft == 0 || ft >= frameMax {
+				t.Fatalf("accepted out-of-range frame type %d", ft)
+			}
+			if n != headerLen+len(payload) || n > len(b) {
+				t.Fatalf("impossible frame accounting: n=%d payload=%d input=%d", n, len(payload), len(b))
+			}
+			// A checksummed payload must never panic the decoders either.
+			decodePayload(payload, new(Step))
+			decodePayload(payload, new(Grads))
+			decodePayload(payload, new(Welcome))
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package distnet
+
+import (
+	"sync"
+
+	"gmreg/internal/obs"
+)
+
+// Process metrics, registered on first use so binaries that never train
+// distributed don't export the families. Byte/frame counters are fed on
+// every frame either side reads or writes; the fold histogram times the
+// coordinator's canonical gradient fold; membership counters track the
+// elastic roster.
+var (
+	metricsOnce   sync.Once
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	framesIn      *obs.Counter
+	framesOut     *obs.Counter
+	foldSeconds   *obs.Histogram
+	memberEpochG  *obs.Gauge
+	membersG      *obs.Gauge
+	joinsTotal    *obs.Counter
+	deathsTotal   *obs.Counter
+	reconnects    *obs.Counter
+	stepRedos     *obs.Counter
+	snapshotTotal *obs.Counter
+)
+
+func metrics() {
+	metricsOnce.Do(func() {
+		bytesIn = obs.Default.Counter("gmreg_distnet_bytes_in_total",
+			"Protocol bytes received (frames, headers included).")
+		bytesOut = obs.Default.Counter("gmreg_distnet_bytes_out_total",
+			"Protocol bytes sent (frames, headers included).")
+		framesIn = obs.Default.Counter("gmreg_distnet_frames_in_total",
+			"Protocol frames received.")
+		framesOut = obs.Default.Counter("gmreg_distnet_frames_out_total",
+			"Protocol frames sent.")
+		foldSeconds = obs.Default.Histogram("gmreg_distnet_fold_seconds",
+			"Coordinator-side canonical gradient fold latency per global step.",
+			obs.DefLatencyBuckets)
+		memberEpochG = obs.Default.Gauge("gmreg_distnet_member_epoch",
+			"Current membership epoch (bumps on every join/leave/death).")
+		membersG = obs.Default.Gauge("gmreg_distnet_members",
+			"Live trainer processes.")
+		joinsTotal = obs.Default.Counter("gmreg_distnet_joins_total",
+			"Trainers admitted to the membership.")
+		deathsTotal = obs.Default.Counter("gmreg_distnet_deaths_total",
+			"Trainers removed after a connection error, heartbeat timeout, or goodbye.")
+		reconnects = obs.Default.Counter("gmreg_distnet_reconnects_total",
+			"Trainer-side redials after a broken coordinator connection.")
+		stepRedos = obs.Default.Counter("gmreg_distnet_step_redos_total",
+			"Global steps re-issued over the surviving trainer set after a mid-step death.")
+		snapshotTotal = obs.Default.Counter("gmreg_distnet_member_snapshots_total",
+			"Training-state snapshots written at membership changes.")
+	})
+}
+
+// RunStats is a per-run summary the coordinator fills while it drives the
+// job; read it after Coordinate returns. The process-wide obs metrics
+// aggregate the same signals across runs.
+type RunStats struct {
+	// BytesIn/BytesOut and FramesIn/FramesOut count protocol traffic from
+	// the coordinator's point of view. The byte counters are updated
+	// atomically (handshake reads happen on accept goroutines).
+	BytesIn, BytesOut   int64
+	FramesIn, FramesOut int64
+	// MemberEpochs is the final membership epoch; Joins and Deaths count
+	// roster changes (MemberEpochs == Joins + Deaths).
+	MemberEpochs, Joins, Deaths int
+	// StepRedos counts global steps that had to be re-issued over the
+	// surviving set after a trainer died mid-step.
+	StepRedos int
+	// Snapshots counts training-state snapshots written at membership
+	// changes.
+	Snapshots int
+}

@@ -94,10 +94,14 @@ func ResNet20(inC, size int, rng *tensor.RNG) *nn.Network {
 }
 
 // MLP builds a small multi-layer perceptron for tabular multi-class tasks —
-// used by the examples to show the tool on a third model family.
+// used by the examples to show the tool on a third model family. The
+// leading Flatten accepts both [n, in] rows and the [n, in, 1, 1] batches
+// the image pipeline produces for tabular sets (data.TabularImageSet); it
+// is the identity on rank-2 input.
 func MLP(in, hidden, classes int, rng *tensor.RNG) *nn.Network {
 	const initStd = 0.1
 	return nn.NewNetwork(
+		nn.NewFlatten("flatten"),
 		nn.NewDense("fc1", in, hidden, initStd, rng),
 		nn.NewReLU("relu1"),
 		nn.NewDense("fc2", hidden, classes, initStd, rng),

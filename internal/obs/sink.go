@@ -123,6 +123,31 @@ type Ckpt struct {
 // Kind implements Event.
 func (Ckpt) Kind() string { return "ckpt" }
 
+// Member records one elastic-membership change in a distributed training
+// run (internal/distnet): a trainer joining, leaving gracefully, or being
+// declared dead. Membership events describe the process roster, not the
+// training computation — the bit-identity contract covers final weights,
+// not the member stream (an elastic run emits different events than an
+// undisturbed one by construction).
+type Member struct {
+	// MemberEpoch is the membership epoch after the change (bumped on every
+	// join/leave/death).
+	MemberEpoch int `json:"member_epoch"`
+	// Live is the trainer count after the change.
+	Live int `json:"live"`
+	// Slot is the affected trainer's membership slot; Name its self-reported
+	// label.
+	Slot int    `json:"slot"`
+	Name string `json:"name,omitempty"`
+	// Action is "join", "leave" (goodbye frame), or "death" (connection
+	// error or heartbeat timeout); Reason carries the error text for deaths.
+	Action string `json:"action"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Kind implements Event.
+func (Member) Kind() string { return "member" }
+
 // Swap records a serving checkpoint change (first load, new version, pin).
 type Swap struct {
 	Model string `json:"model"`

@@ -54,10 +54,22 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
+// fileSync and dirSync are the fsync calls WriteFileAtomic issues, as
+// injectable hooks so tests can observe that the durability path really
+// runs (and simulate its failures) without instrumenting the kernel.
+var (
+	fileSync = func(f *os.File) error { return f.Sync() }
+	dirSync  = func(f *os.File) error { return f.Sync() }
+)
+
 // WriteFileAtomic streams write into a temp file in path's directory and
 // renames it over path, so concurrent readers (a polling gmreg-serve, a
 // resume loading the latest training checkpoint) only ever observe either
 // the old complete file or the new complete file — never a partial write.
+// The temp file is fsynced before the rename and the parent directory
+// after it, so the completed write also survives power loss: without the
+// directory fsync, a crash can durably keep the data blocks yet lose the
+// directory entry, resurrecting the old file (or nothing) on reboot.
 // This is the one durability primitive every snapshot in the repository goes
 // through: the serving store (SaveFile) and the training-state checkpoints
 // (train.State.WriteFile).
@@ -72,10 +84,22 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 		tmp.Close()
 		return err
 	}
+	if err := fileSync(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return dirSync(d)
 }
 
 // SaveFile writes the store snapshot to path atomically (temp file + rename

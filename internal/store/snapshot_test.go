@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -168,5 +169,61 @@ func TestLoadOrNew(t *testing.T) {
 	os.WriteFile(bad, []byte("not a snapshot"), 0o644)
 	if _, err := LoadOrNew(bad); err == nil {
 		t.Fatal("expected error for malformed store file")
+	}
+}
+
+// TestWriteFileAtomicFsyncs asserts the power-loss durability path: the
+// temp file is fsynced before the rename and the parent directory after
+// it, in that order — rename-without-dir-fsync can survive a crash as a
+// lost directory entry even though the data blocks hit disk.
+func TestWriteFileAtomicFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.store")
+	var order []string
+	oldFile, oldDir := fileSync, dirSync
+	fileSync = func(f *os.File) error {
+		order = append(order, "file:"+filepath.Base(f.Name()))
+		return f.Sync()
+	}
+	dirSync = func(f *os.File) error {
+		order = append(order, "dir:"+filepath.Base(f.Name()))
+		return f.Sync()
+	}
+	t.Cleanup(func() { fileSync, dirSync = oldFile, oldDir })
+
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("durable"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || !strings.HasPrefix(order[0], "file:.snap-") ||
+		order[1] != "dir:"+filepath.Base(dir) {
+		t.Fatalf("fsync order %v, want [file:.snap-* dir:%s]", order, filepath.Base(dir))
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != "durable" {
+		t.Fatalf("content after durable write: %q, %v", got, err)
+	}
+
+	// An fsync failure must propagate and must not complete the rename.
+	fileSync = func(f *os.File) error { return errors.New("injected fsync failure") }
+	err := WriteFileAtomic(filepath.Join(dir, "other.store"), func(w io.Writer) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "injected fsync failure") {
+		t.Fatalf("fsync failure not propagated: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "other.store")); !os.IsNotExist(statErr) {
+		t.Fatal("destination exists despite fsync failure")
+	}
+
+	// A directory-fsync failure also propagates (the rename has happened,
+	// but the caller learns durability was not established).
+	fileSync = oldFile
+	dirSync = func(f *os.File) error { return errors.New("injected dirsync failure") }
+	err = WriteFileAtomic(filepath.Join(dir, "third.store"), func(w io.Writer) error {
+		_, werr := w.Write([]byte("x"))
+		return werr
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected dirsync failure") {
+		t.Fatalf("dir fsync failure not propagated: %v", err)
 	}
 }

@@ -208,19 +208,34 @@ func ApplyTune(cfg TuneConfig) error {
 	return nil
 }
 
-// AutotunePath returns the per-host config file path,
-// <UserCacheDir>/gmreg/autotune-<hostname>-<gomaxprocs>.json.
-func AutotunePath() (string, error) {
-	dir, err := os.UserCacheDir()
-	if err != nil {
-		return "", err
+// cacheDir resolves where per-host configs persist, in precedence order:
+// a GMREG_CACHE_DIR override (files land directly under it — the knob for
+// pinning the cache in CI or sharing one across containers), else the
+// platform user cache (<os.UserCacheDir()>/gmreg), else — when HOME and
+// XDG_CACHE_HOME are unset, as in minimal containers — a gmreg-cache
+// directory under os.TempDir, so autotuning still persists instead of
+// silently re-measuring every process.
+func cacheDir() string {
+	if dir := os.Getenv("GMREG_CACHE_DIR"); dir != "" {
+		return dir
 	}
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "gmreg")
+	}
+	return filepath.Join(os.TempDir(), "gmreg-cache")
+}
+
+// AutotunePath returns the per-host config file path:
+// <cacheDir>/autotune-<hostname>-<gomaxprocs>.json (see cacheDir for the
+// directory resolution). The error return is kept for compatibility and is
+// always nil — every resolution step has a fallback.
+func AutotunePath() (string, error) {
 	host, err := os.Hostname()
 	if err != nil || host == "" {
 		host = "unknown"
 	}
 	name := fmt.Sprintf("autotune-%s-%d.json", host, runtime.GOMAXPROCS(0))
-	return filepath.Join(dir, "gmreg", name), nil
+	return filepath.Join(cacheDir(), name), nil
 }
 
 // LoadTune reads and validates a persisted config. Any failure — missing

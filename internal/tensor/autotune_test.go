@@ -104,9 +104,11 @@ func TestSetTileShapeValidation(t *testing.T) {
 }
 
 func TestAutotunePathShape(t *testing.T) {
+	t.Setenv("GMREG_CACHE_DIR", "")
+	t.Setenv("XDG_CACHE_HOME", t.TempDir()) // pin the user cache dir
 	path, err := AutotunePath()
 	if err != nil {
-		t.Skipf("no user cache dir: %v", err)
+		t.Fatalf("AutotunePath errored despite fallbacks: %v", err)
 	}
 	base := filepath.Base(path)
 	if !strings.HasPrefix(base, "autotune-") || !strings.HasSuffix(base, ".json") {
@@ -114,6 +116,44 @@ func TestAutotunePathShape(t *testing.T) {
 	}
 	if filepath.Base(filepath.Dir(path)) != "gmreg" {
 		t.Errorf("AutotunePath dir = %q, want .../gmreg", filepath.Dir(path))
+	}
+}
+
+// TestAutotunePathCacheDir covers the cache-directory resolution order:
+// GMREG_CACHE_DIR beats the platform user cache, and a container with
+// neither HOME nor XDG_CACHE_HOME still resolves (to a temp-dir cache)
+// instead of erroring.
+func TestAutotunePathCacheDir(t *testing.T) {
+	custom := t.TempDir()
+	t.Setenv("GMREG_CACHE_DIR", custom)
+	path, err := AutotunePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != custom {
+		t.Errorf("with GMREG_CACHE_DIR: dir = %q, want %q", filepath.Dir(path), custom)
+	}
+
+	// The override must be usable end to end, not just printable.
+	cfg := CurrentTune()
+	if err := SaveTune(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadTune(path); err != nil || got != cfg {
+		t.Fatalf("round trip through GMREG_CACHE_DIR: %+v, %v", got, err)
+	}
+
+	// Containers without HOME: fall back under os.TempDir.
+	t.Setenv("GMREG_CACHE_DIR", "")
+	t.Setenv("HOME", "")
+	t.Setenv("XDG_CACHE_HOME", "")
+	path, err = AutotunePath()
+	if err != nil {
+		t.Fatalf("AutotunePath errored with no HOME: %v", err)
+	}
+	if filepath.Dir(path) != filepath.Join(os.TempDir(), "gmreg-cache") {
+		t.Errorf("no-HOME fallback dir = %q, want %q", filepath.Dir(path),
+			filepath.Join(os.TempDir(), "gmreg-cache"))
 	}
 }
 

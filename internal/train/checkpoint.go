@@ -42,6 +42,17 @@ import (
 // contain them, which is what makes the files themselves byte-comparable
 // across runs (DESIGN.md §11).
 
+// init primes gob's package-global type registry with the full State type
+// tree. gob assigns wire type ids from a process-global counter in
+// first-use order, and every State file embeds those ids — without a fixed
+// assignment point, a process that gob-encodes anything else first (the
+// distnet wire protocol, a store snapshot) would write byte-different
+// checkpoint files for equal logical state, breaking the cross-process
+// byte-comparison contract above.
+func init() {
+	gob.NewEncoder(io.Discard).Encode(&State{})
+}
+
 // ErrFaultInjected is returned by trainers when CheckpointPolicy.DieAtEpoch
 // aborts training — the in-process stand-in for a preemption or crash used
 // by the fault-injection harness and `gmreg-train -die-at-epoch`.

@@ -1,6 +1,8 @@
 package train
 
 import (
+	"fmt"
+
 	"gmreg/internal/nn"
 	"gmreg/internal/reg"
 	"gmreg/internal/tensor"
@@ -105,6 +107,28 @@ func (g *GradBank) Capture(s int, params []*nn.Param) {
 	for i, p := range params {
 		copy(buf[g.offs[i]:g.offs[i+1]], p.Grad)
 	}
+}
+
+// ShardLen returns the flattened per-shard buffer length (the sum of all
+// parameter-group sizes) — the length LoadShard expects and the layout
+// remote trainers flatten their gradients into.
+func (g *GradBank) ShardLen() int { return g.offs[len(g.offs)-1] }
+
+// LoadShard overwrites shard s's snapshot with an externally computed
+// flattened gradient in the Capture layout (groups concatenated in network
+// order). This is how the distributed coordinator (internal/distnet) feeds
+// gradients that arrived over the wire into the same canonical Reduce fold
+// the in-process trainers use.
+func (g *GradBank) LoadShard(s int, flat []float64) error {
+	if s < 0 || s >= len(g.bufs) {
+		return fmt.Errorf("train: shard %d out of range [0, %d)", s, len(g.bufs))
+	}
+	if len(flat) != g.ShardLen() {
+		return fmt.Errorf("train: shard gradient has %d values, bank layout needs %d",
+			len(flat), g.ShardLen())
+	}
+	copy(g.bufs[s], flat)
+	return nil
 }
 
 // Reduce overwrites params' Grad with the ascending-order sum of shards
