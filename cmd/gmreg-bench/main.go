@@ -15,7 +15,14 @@
 // the register-blocked micro-kernels against the PR-1 blocked kernels — and
 // writes BENCH_hotpath.json; the serve experiment sweeps the micro-batching
 // predictor's batch-window settings under concurrent load and writes
-// BENCH_serve.json; the dataparallel experiment sweeps dist.Network replica
+// BENCH_serve.json; the serveload experiment drives a real in-process
+// gmreg-serve over loopback TCP with OPEN-loop Poisson arrivals (latency
+// measured from each request's scheduled arrival, wrk2-style, so queueing
+// delay is not hidden by coordinated omission), sweeps offered QPS around
+// the server's calibrated capacity, reports p50/p99/p99.9 plus the max
+// sustainable QPS at the -slo latency objective, embeds the steady-state
+// allocs/request probe, and writes BENCH_serveload.json; the dataparallel
+// experiment sweeps dist.Network replica
 // counts × prefetch and writes BENCH_dataparallel.json; the distnet
 // experiment sweeps multi-process trainer counts over loopback TCP
 // (coordinator + R trainers, final loss checked bit-equal to the sequential
@@ -47,12 +54,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|dataparallel|distnet|autotune|ablations|all")
+		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|serveload|dataparallel|distnet|autotune|ablations|all")
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")
 		seed     = cli.Seed(flag.CommandLine)
 		svgDir   = flag.String("svg", "", "directory to write SVG renderings of fig3/fig5/fig6/fig7 (optional)")
+		slo      = flag.Duration("slo", bench.DefaultServeSLO, "serveload p99 latency objective (e.g. 5ms, 20ms)")
 		procs    = cli.Procs(flag.CommandLine)
 	)
 	flag.Parse()
@@ -88,7 +96,7 @@ func main() {
 		filter = strings.Split(*datasets, ",")
 	}
 
-	opt := bench.Options{Model: m, Datasets: filter}
+	opt := bench.Options{Model: m, Datasets: filter, SLO: *slo}
 	run := func(id string) error {
 		w := os.Stdout
 		// The figure experiments have optional SVG renderings (the iDat

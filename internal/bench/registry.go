@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
 
 // Options carries the per-experiment knobs RunByID dispatches on.
@@ -13,6 +14,9 @@ type Options struct {
 	Model DeepModel
 	// Datasets optionally filters Table VII's rows.
 	Datasets []string
+	// SLO is the serveload experiment's p99 latency objective; ≤ 0 selects
+	// DefaultServeSLO.
+	SLO time.Duration
 }
 
 // runner executes one experiment, discarding its structured result.
@@ -101,6 +105,17 @@ var registry = map[string]runner{
 			return err
 		}
 		fmt.Fprintln(w, "wrote", ServeJSONPath)
+		return nil
+	},
+	"serveload": func(w io.Writer, s Scale, opt Options) error {
+		rep, err := RunServeLoad(w, s, opt.SLO)
+		if err != nil {
+			return err
+		}
+		if err := WriteServeLoadJSON(ServeLoadJSONPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", ServeLoadJSONPath)
 		return nil
 	},
 	"autotune": func(w io.Writer, s Scale, _ Options) error {

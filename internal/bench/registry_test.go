@@ -10,8 +10,8 @@ func TestExperimentIDsComplete(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{
 		"ablation-gamma", "ablation-grid", "ablation-hpo", "ablation-k", "ablation-merge",
-		"autotune", "dataparallel", "distnet", "fig3", "fig4", "fig5", "fig6", "fig7", "hotpath", "serve",
-		"table4", "table5", "table6", "table7", "table8",
+		"autotune", "dataparallel", "distnet", "fig3", "fig4", "fig5", "fig6", "fig7", "hotpath",
+		"serve", "serveload", "table4", "table5", "table6", "table7", "table8",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)

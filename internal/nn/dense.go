@@ -82,7 +82,8 @@ func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // transition from convolutional to dense layers.
 type Flatten struct {
 	name  string
-	shape []int // cached input shape for Backward
+	shape []int         // cached input shape for Backward
+	view  tensor.Tensor // reused rank-2 view over the input's data
 }
 
 // NewFlatten builds a flatten layer.
@@ -98,7 +99,13 @@ func (f *Flatten) Params() []*Param { return nil }
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.shape = append(f.shape[:0], x.Shape...)
 	n := x.Shape[0]
-	return x.Reshape(n, x.Len()/n)
+	// A reshape is a view: alias the input's data under a persistent header
+	// instead of allocating a fresh Tensor per call (the serving hot path
+	// runs this once per coalesced batch). The view follows the same
+	// lifetime rule as ensure: valid until this layer's next Forward.
+	f.view.Data = x.Data
+	f.view.Shape = append(f.view.Shape[:0], n, x.Len()/n)
+	return &f.view
 }
 
 // Backward implements Layer.

@@ -18,7 +18,13 @@ func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 	}
 	t := *buf
 	if t == nil || cap(t.Data) < n {
-		t = tensor.New(shape...)
+		// Built inline rather than via tensor.New: New's panic formatting
+		// makes the shape argument escape, which would heap-allocate the
+		// variadic slice at every ensure call site — even cache hits.
+		t = &tensor.Tensor{
+			Shape: append([]int(nil), shape...),
+			Data:  make([]float64, n),
+		}
 		*buf = t
 		return t
 	}

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +28,12 @@ type ServerConfig struct {
 	// RequestTimeout bounds one /predict end to end (queue wait included).
 	// Defaults to 5s.
 	RequestTimeout time.Duration
+	// MaxPredictBody caps a /predict request body in bytes; larger bodies
+	// are answered with a counted 413. Defaults to 1 MiB.
+	MaxPredictBody int64
+	// MaxSwapBody caps a /swap request body in bytes; larger bodies are
+	// answered with a counted 413. Defaults to 64 KiB.
+	MaxSwapBody int64
 	// Metrics is the registry the server's series are registered in and the
 	// one GET /metrics renders. Defaults to obs.Default; tests that run
 	// several servers in one process should pass fresh registries.
@@ -41,6 +50,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxPredictBody <= 0 {
+		c.MaxPredictBody = 1 << 20
+	}
+	if c.MaxSwapBody <= 0 {
+		c.MaxSwapBody = 1 << 16
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default
@@ -63,6 +78,10 @@ type Server struct {
 	sem      chan struct{} // load-shedding middleware tokens
 	start    time.Time
 	httpShed atomic.Int64 // 503s issued by the inflight limiter
+
+	encodeFails atomic.Int64 // response encode/write failures (satellite of DESIGN.md §14)
+	tooLarge    atomic.Int64 // bodies rejected with 413
+	abandoned   atomic.Int64 // requests whose buffers were leaked after timeout/cancel
 
 	mu    sync.RWMutex
 	preds map[string]*Predictor
@@ -172,7 +191,7 @@ func (s *Server) shed(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			s.httpShed.Add(1)
-			writeError(w, http.StatusServiceUnavailable, "server overloaded")
+			s.writeError(w, http.StatusServiceUnavailable, "server overloaded")
 		}
 	})
 }
@@ -198,45 +217,151 @@ type predictResponse struct {
 	Version versionJSON `json:"version"`
 }
 
+// handlePredict is a thin shell around the allocation-free core: check out a
+// pooled buffer set, run the request cycle, write the prepared bytes, and
+// recycle the buffers — unless the request was abandoned mid-flight, in
+// which case a batch executor may still write into them and they are leaked
+// to the GC instead.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	wb := getWireBuf()
+	status, msg, abandoned := s.servePredict(r.Context(), wb, r.Body)
+	if status == http.StatusOK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(wb.out); err != nil {
+			s.encodeFails.Add(1)
+		}
+	} else {
+		s.writeError(w, status, msg)
+	}
+	if abandoned {
+		s.abandoned.Add(1)
 		return
 	}
-	p, name, err := s.predictor(req.Model)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
-		return
+	putWireBuf(wb)
+}
+
+// servePredict runs one /predict cycle — read, decode, batch-predict, encode
+// — entirely inside wb's pooled buffers. It returns the HTTP status, the
+// error message for non-200s (wb.out holds the response body on 200), and
+// whether the request was abandoned (buffers must not be recycled). The
+// steady-state 200 path performs no heap allocation.
+func (s *Server) servePredict(ctx context.Context, wb *wireBuf, body io.Reader) (status int, msg string, abandoned bool) {
+	if err := wb.readBody(body, s.cfg.MaxPredictBody); err != nil {
+		if err == errBodyTooLarge {
+			s.tooLarge.Add(1)
+			return http.StatusRequestEntityTooLarge, "request body too large", false
+		}
+		return http.StatusBadRequest, "bad request body: " + err.Error(), false
 	}
+	if err := wb.decodePredict(wb.body); err != nil {
+		return http.StatusBadRequest, "bad request body: " + err.Error(), false
+	}
+
+	// Resolve the predictor without materializing the model name as a
+	// string: the map index on a converted byte slice does not allocate.
 	s.mu.RLock()
-	inst := s.inst[name]
+	var p *Predictor
+	var inst *modelInst
+	if len(wb.model) == 0 {
+		if len(s.preds) != 1 {
+			n := len(s.preds)
+			s.mu.RUnlock()
+			return http.StatusNotFound, fmt.Sprintf("model name required (%d models served)", n), false
+		}
+		for k, pred := range s.preds {
+			p, inst = pred, s.inst[k]
+			wb.model = append(wb.model[:0], k...)
+		}
+	} else {
+		p, inst = s.preds[string(wb.model)], s.inst[string(wb.model)]
+		if p == nil {
+			s.mu.RUnlock()
+			return http.StatusNotFound, fmt.Sprintf("unknown model %q", wb.model), false
+		}
+	}
 	s.mu.RUnlock()
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	defer cancel()
+
+	classes := p.Classes()
+	if cap(wb.probs) < classes {
+		wb.probs = make([]float64, classes)
+	}
+	wb.probs = wb.probs[:classes]
+
+	// A pooled timer replaces context.WithTimeout (which allocates). The
+	// buffer is always left stopped-and-drained, so Reset is safe under
+	// both pre- and post-1.23 timer semantics.
+	if wb.timer == nil {
+		wb.timer = time.NewTimer(s.cfg.RequestTimeout)
+	} else {
+		wb.timer.Reset(s.cfg.RequestTimeout)
+	}
 	t0 := time.Now()
-	res, err := p.Predict(ctx, req.Features)
+	res, err := p.PredictInto(ctx, wb.features, wb.probs, wb.timer.C)
+	if !wb.timer.Stop() {
+		select {
+		case <-wb.timer.C:
+		default:
+		}
+	}
 	if inst != nil {
 		inst.latency.Observe(time.Since(t0).Seconds())
 	}
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
+		return http.StatusServiceUnavailable, err.Error(), false
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "prediction timed out")
-		return
+		return http.StatusGatewayTimeout, "prediction timed out", true
+	case errors.Is(err, context.Canceled):
+		return http.StatusBadRequest, err.Error(), true
 	default:
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return http.StatusBadRequest, err.Error(), false
 	}
-	writeJSON(w, http.StatusOK, predictResponse{
-		Model:   name,
-		Label:   res.Label,
-		Probs:   res.Probs,
-		Version: toVersionJSON(res.Version),
-	})
+
+	wb.out, err = appendPredictResponse(wb.out[:0], wb.model, res.Label, res.Probs,
+		res.Version.Seq, res.Version.Hash)
+	if err != nil {
+		s.encodeFails.Add(1)
+		return http.StatusInternalServerError, "response encoding failed: " + err.Error(), false
+	}
+	return http.StatusOK, "", false
+}
+
+// MeasurePredictAllocs replays body through the /predict core and reports
+// the steady-state heap cost per request (allocations and bytes), measured
+// like testing.AllocsPerRun: GOMAXPROCS pinned to 1, a warm-up pass, then a
+// global malloc-counter delta over runs iterations. The probe is used by the
+// serveload bench and the CI allocation gate.
+func (s *Server) MeasurePredictAllocs(body []byte, runs int) (allocsPerReq, bytesPerReq float64, err error) {
+	if runs <= 0 {
+		runs = 100
+	}
+	ctx := context.Background()
+	rd := bytes.NewReader(body)
+	oneReq := func() (int, string) {
+		rd.Reset(body)
+		wb := getWireBuf()
+		st, msg, abandoned := s.servePredict(ctx, wb, rd)
+		if !abandoned {
+			putWireBuf(wb)
+		}
+		return st, msg
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	for i := 0; i < 64; i++ { // warm the pools and the batch executors
+		if st, errmsg := oneReq(); st != http.StatusOK {
+			return 0, 0, fmt.Errorf("predict returned %d: %s", st, errmsg)
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		oneReq()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(runs), nil
 }
 
 type modelJSON struct {
@@ -278,7 +403,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		out = append(out, m)
 	}
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": out})
 }
 
 type swapRequest struct {
@@ -288,8 +413,14 @@ type swapRequest struct {
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	var req swapRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxSwapBody)).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.tooLarge.Add(1)
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if req.Model == "" {
@@ -297,13 +428,13 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		if _, name, err := s.predictor(""); err == nil {
 			req.Model = name
 		} else {
-			writeError(w, http.StatusBadRequest, err.Error())
+			s.writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 	}
 	m, err := s.reg.Pin(req.Model, req.Seq)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
+		s.writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	// The swap callback may have failed (e.g. architecture change); surface
@@ -312,10 +443,10 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	perr := s.perr[req.Model]
 	s.mu.RUnlock()
 	if perr != "" {
-		writeError(w, http.StatusConflict, perr)
+		s.writeError(w, http.StatusConflict, perr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"model":   m.Key,
 		"serving": toVersionJSON(m.Version),
 		"pinned":  req.Seq != 0,
@@ -326,19 +457,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	n := len(s.preds)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"models":    n,
 		"uptime_ms": time.Since(s.start).Milliseconds(),
 	})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v on the cold paths (/models, /swap, /healthz, errors).
+// Encode failures after WriteHeader cannot change the status line anymore,
+// but they are no longer silent: gmreg_serve_encode_failures_total counts
+// them for alerting.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeFails.Add(1)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, map[string]string{"error": msg})
 }

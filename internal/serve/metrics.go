@@ -57,6 +57,28 @@ func registerProcessMetrics(r *obs.Registry, s *Server) {
 			defer s.mu.RUnlock()
 			return float64(len(s.preds))
 		})
+
+	// Wire-codec pool health (DESIGN.md §14): in steady state gets climbs
+	// while misses and alloc bytes stay flat — the zero-allocation
+	// signature. The wire pool is process-wide, like the arena above.
+	r.CounterFunc("gmreg_serve_wire_gets_total",
+		"Pooled wire-buffer checkouts on the /predict hot path.",
+		func() float64 { return float64(wireGets.Load()) })
+	r.CounterFunc("gmreg_serve_wire_misses_total",
+		"Wire-buffer checkouts that built a fresh buffer set.",
+		func() float64 { return float64(wireMisses.Load()) })
+	r.CounterFunc("gmreg_serve_alloc_bytes_total",
+		"Bytes of backing-array growth across recycled wire buffers.",
+		func() float64 { return float64(wireAllocBytes.Load()) })
+	r.CounterFunc("gmreg_serve_encode_failures_total",
+		"Response encode or write failures (previously silent).",
+		func() float64 { return float64(s.encodeFails.Load()) })
+	r.CounterFunc("gmreg_serve_body_too_large_total",
+		"Request bodies rejected with 413 by the configured size caps.",
+		func() float64 { return float64(s.tooLarge.Load()) })
+	r.CounterFunc("gmreg_serve_abandoned_total",
+		"Requests whose buffers were leaked to the GC after timeout/cancel.",
+		func() float64 { return float64(s.abandoned.Load()) })
 }
 
 // modelInst bundles the per-model series the handlers write to directly.

@@ -90,8 +90,28 @@ type response struct {
 }
 
 type request struct {
-	x    []float64
-	done chan response // buffered(1); executor never blocks on it
+	x     []float64
+	probs []float64     // caller-owned output buffer, len == NumClasses
+	done  chan response // buffered(1); executor never blocks on it
+}
+
+// requestPool recycles request envelopes (and their done channels) across
+// Predict calls. Only requests whose response was actually received may be
+// returned: an abandoned request's executor may still be about to send, so
+// reusing its channel would deliver a stale response to the next caller.
+var requestPool sync.Pool
+
+func getRequest() *request {
+	r, _ := requestPool.Get().(*request)
+	if r == nil {
+		r = &request{done: make(chan response, 1)}
+	}
+	return r
+}
+
+func putRequest(r *request) {
+	r.x, r.probs = nil, nil
+	requestPool.Put(r)
 }
 
 // replicaSet is one checkpoint version's worth of replicas. Swapping
@@ -167,6 +187,10 @@ func (p *Predictor) Swap(m *Model) error {
 // Spec returns the architecture this predictor serves.
 func (p *Predictor) Spec() models.Spec { return p.spec }
 
+// Classes returns the number of output classes this predictor emits — the
+// length PredictInto requires of its probs buffer.
+func (p *Predictor) Classes() int { return p.spec.NumClasses() }
+
 // Version returns the checkpoint version new batches will run on.
 func (p *Predictor) Version() store.Version { return p.pool.Load().version }
 
@@ -182,16 +206,39 @@ func (p *Predictor) QueueDepth() int { return len(p.queue) }
 // Predict enqueues one sample and blocks until its batch executes, ctx
 // expires, or the queue is full (ErrOverloaded, immediately). features must
 // have exactly Spec().NumFeatures() entries; the slice is read until the
-// response is delivered and must not be mutated meanwhile.
+// response is delivered and must not be mutated meanwhile. The returned
+// Result.Probs is freshly allocated; callers that recycle buffers should use
+// PredictInto.
 func (p *Predictor) Predict(ctx context.Context, features []float64) (Result, error) {
+	return p.PredictInto(ctx, features, make([]float64, p.spec.NumClasses()), nil)
+}
+
+// PredictInto is the zero-allocation Predict: the softmax distribution is
+// written into probs (len must be Classes()) and Result.Probs aliases it.
+// deadline, when non-nil, bounds the wait exactly like a ctx deadline but
+// without allocating a context (fire → context.DeadlineExceeded).
+//
+// Buffer ownership: features and probs belong to the executor until
+// PredictInto returns. On a nil error, or on any error other than
+// ctx.Err()/DeadlineExceeded, ownership is back with the caller and the
+// buffers may be recycled. When the wait is abandoned (ctx done or deadline
+// fired) the batch executor may still be about to write probs — the caller
+// must leak those buffers to the GC rather than reuse them.
+func (p *Predictor) PredictInto(ctx context.Context, features, probs []float64, deadline <-chan time.Time) (Result, error) {
 	if len(features) != p.spec.NumFeatures() {
 		return Result{}, fmt.Errorf("serve: request has %d features, model %s wants %d",
 			len(features), p.spec.Family, p.spec.NumFeatures())
 	}
-	req := &request{x: features, done: make(chan response, 1)}
+	if len(probs) != p.spec.NumClasses() {
+		return Result{}, fmt.Errorf("serve: probs buffer has %d slots, model %s emits %d classes",
+			len(probs), p.spec.Family, p.spec.NumClasses())
+	}
+	req := getRequest()
+	req.x, req.probs = features, probs
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
+		putRequest(req)
 		return Result{}, ErrClosed
 	}
 	select {
@@ -200,15 +247,20 @@ func (p *Predictor) Predict(ctx context.Context, features []float64) (Result, er
 	default:
 		p.mu.RUnlock()
 		p.nshed.Add(1)
+		putRequest(req)
 		return Result{}, ErrOverloaded
 	}
 	p.nreq.Add(1)
 	select {
 	case r := <-req.done:
+		putRequest(req)
 		return r.res, r.err
 	case <-ctx.Done():
-		// The request still executes; its buffered response is dropped.
+		// The request still executes; its buffered response is dropped and
+		// the envelope is left to the GC (see requestPool).
 		return Result{}, ctx.Err()
+	case <-deadline:
+		return Result{}, context.DeadlineExceeded
 	}
 }
 
@@ -296,13 +348,19 @@ func stopTimer(t *time.Timer) {
 }
 
 // execute runs one coalesced Forward pass and distributes the per-request
-// results. The input tensor is arena-pooled; outputs are copied out before
-// the replica is released, because the output buffer belongs to the replica.
+// results. The input tensor is arena-pooled and each softmax is written into
+// the request's caller-owned probs buffer, so a steady-state pass allocates
+// nothing. All reads of the replica's output buffer happen before the
+// replica is released.
 func (p *Predictor) execute(batch []*request) {
+	sent := 0
 	defer func() {
 		if r := recover(); r != nil {
 			err := fmt.Errorf("serve: forward pass panicked: %v", r)
-			for _, req := range batch {
+			// Only requests not yet answered get the error; re-sending to
+			// batch[:sent] would corrupt their (possibly already pooled)
+			// envelopes.
+			for _, req := range batch[sent:] {
 				req.done <- response{err: err}
 			}
 		}
@@ -317,14 +375,15 @@ func (p *Predictor) execute(batch []*request) {
 	net := <-rs.replicas
 	out := net.Forward(in, false)
 	classes := out.Shape[len(out.Shape)-1]
-	results := make([]Result, n)
-	for i := range results {
+	for i, req := range batch {
 		logits := out.Data[i*classes : (i+1)*classes]
-		results[i] = Result{
+		softmaxInto(req.probs, logits)
+		req.done <- response{res: Result{
 			Label:   tensor.ArgMax(logits),
-			Probs:   softmax(logits),
+			Probs:   req.probs,
 			Version: rs.version,
-		}
+		}}
+		sent++
 	}
 	rs.replicas <- net
 	tensor.DefaultArena.Put(in)
@@ -332,15 +391,11 @@ func (p *Predictor) execute(batch []*request) {
 	if p.cfg.BatchSizes != nil {
 		p.cfg.BatchSizes.Observe(float64(n))
 	}
-	for i, req := range batch {
-		req.done <- response{res: results[i]}
-	}
 }
 
-// softmax returns the stable softmax of logits in a fresh slice.
-func softmax(logits []float64) []float64 {
+// softmaxInto writes the stable softmax of logits into out (equal length).
+func softmaxInto(out, logits []float64) {
 	m := logits[tensor.ArgMax(logits)]
-	out := make([]float64, len(logits))
 	var sum float64
 	for i, v := range logits {
 		out[i] = math.Exp(v - m)
@@ -349,5 +404,11 @@ func softmax(logits []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
+}
+
+// softmax returns the stable softmax of logits in a fresh slice.
+func softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	softmaxInto(out, logits)
 	return out
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Allocation-budget assertions are skipped under -race: the detector's
+// instrumentation allocates, and sync.Pool deliberately drops puts in race
+// builds to widen interleaving coverage, so AllocsPerRun is meaningless there.
+const raceEnabled = false
