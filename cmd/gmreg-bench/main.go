@@ -54,7 +54,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|hotpath|serve|serveload|dataparallel|distnet|autotune|ablations|all")
+		exp      = flag.String("exp", "all", "experiment id: table4|table5|table6|table7|table8|fig3|fig4|fig5|fig6|fig7|ablation-k|ablation-merge|ablation-gamma|ablation-grid|ablation-hpo|ablation-priors|hotpath|serve|serveload|dataparallel|distnet|autotune|ablations|all")
 		scale    = flag.String("scale", "small", "experiment scale: small|full")
 		model    = flag.String("model", "alex", "model for fig4/fig5/fig6/fig7/table8: alex|resnet")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter for table7 (default: all 12)")

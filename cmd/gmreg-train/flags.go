@@ -2,7 +2,10 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
+	"gmreg/internal/core"
 	"gmreg/internal/train"
 )
 
@@ -22,10 +25,54 @@ type runFlags struct {
 	CSV         string // -csv path ("" = off)
 	Resume      string // -resume path ("" = off)
 	Save        string // -save store key ("" = off)
+	Reg         string // -reg regularizer name
+	Prior       string // -prior family ("" = follow -reg)
+	StorePath   string // -store file (informative reference + -save)
 
 	// ResumeState is the loaded -resume checkpoint when one was given (nil
 	// in trainer mode, where the state is never loaded).
 	ResumeState *train.State
+}
+
+// parsePrior splits a -prior value into family and (for informative) the
+// reference checkpoint's store key.
+func parsePrior(v string) (family, key string, err error) {
+	family, key, informative := strings.Cut(v, ":")
+	switch family {
+	case "gm", "laplace", "student-t", "slope":
+		if informative {
+			return "", "", fmt.Errorf("-prior %s takes no :argument", family)
+		}
+		return family, "", nil
+	case "informative":
+		if !informative || key == "" {
+			return "", "", fmt.Errorf("-prior informative needs a reference checkpoint: -prior informative:<store-key>")
+		}
+		return family, key, nil
+	default:
+		return "", "", fmt.Errorf("unknown prior family %q: use gm|laplace|student-t|slope|informative:<ckpt-key>", family)
+	}
+}
+
+// selectedFamily resolves the run's prior family from -prior (canonical) or
+// -reg (legacy): the family tag for adaptive choices, "" for stateless ones
+// (slope and the fixed baselines), matching what State.PriorFamily reports
+// for the checkpoints such a run writes.
+func selectedFamily(f runFlags) string {
+	if f.Prior != "" {
+		fam, _, err := parsePrior(f.Prior)
+		if err != nil {
+			return ""
+		}
+		if fam == "slope" {
+			return ""
+		}
+		return fam
+	}
+	if f.Reg == "" || f.Reg == "gm" {
+		return core.FamilyGM
+	}
+	return ""
 }
 
 // checkFlagConflicts rejects contradictory flag combinations with a one-line
@@ -35,6 +82,23 @@ type runFlags struct {
 func checkFlagConflicts(f runFlags) error {
 	if f.Coordinator != "" && f.Join != "" {
 		return fmt.Errorf("-coordinator and -join are mutually exclusive: a process is either the coordinator or a trainer")
+	}
+	if f.Prior != "" {
+		if f.Reg != "" && f.Reg != "gm" {
+			return fmt.Errorf("-prior and -reg are two spellings of the same choice: use -prior %s alone", f.Prior)
+		}
+		fam, _, err := parsePrior(f.Prior)
+		if err != nil {
+			return err
+		}
+		if fam == "informative" {
+			if f.StorePath == "" {
+				return fmt.Errorf("-prior informative:<key> needs -store to name the reference checkpoint's store file")
+			}
+			if _, err := os.Stat(f.StorePath); err != nil {
+				return fmt.Errorf("-prior informative:<key> needs a readable store: %v", err)
+			}
+		}
 	}
 	if f.Join != "" {
 		switch {
@@ -59,6 +123,13 @@ func checkFlagConflicts(f runFlags) error {
 			return fmt.Errorf("-coordinator needs a network model: use -dataset cifar, or -model mlp for a tabular dataset")
 		}
 	}
+	if f.Resume != "" && f.ResumeState != nil {
+		want, got := selectedFamily(f), f.ResumeState.PriorFamily()
+		if want != got {
+			return fmt.Errorf("-resume checkpoint was trained with prior family %q but this run selects %q; rerun with the checkpoint's prior",
+				priorLabel(got), priorLabel(want))
+		}
+	}
 	if f.Resume != "" && f.ResumeState != nil && f.ResumeState.Kind == train.KindNetwork {
 		eff := effectiveShard(f)
 		if f.ResumeState.ShardSize != eff {
@@ -67,6 +138,15 @@ func checkFlagConflicts(f runFlags) error {
 		}
 	}
 	return nil
+}
+
+// priorLabel renders "" (no adaptive state: fixed baselines, slope) readably
+// in the resume-mismatch error.
+func priorLabel(f string) string {
+	if f == "" {
+		return "fixed"
+	}
+	return f
 }
 
 // effectiveShard mirrors the trainers' shard-size defaulting: an explicit

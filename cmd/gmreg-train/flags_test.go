@@ -4,12 +4,18 @@ import (
 	"strings"
 	"testing"
 
+	"gmreg/internal/core"
 	"gmreg/internal/train"
 )
 
 func TestCheckFlagConflicts(t *testing.T) {
-	// A network checkpoint written at effective shard size 8.
-	ckpt := &train.State{Kind: train.KindNetwork, ShardSize: 8}
+	// A GM-trained network checkpoint written at effective shard size 8 (the
+	// Regs entry marks it GM so the default -reg gm resume passes the prior
+	// family check).
+	ckpt := &train.State{
+		Kind: train.KindNetwork, ShardSize: 8,
+		Regs: []train.RegState{{Name: "g0"}},
+	}
 	base := runFlags{Trainers: 1, Workers: 1, Batch: 32, Dataset: "horse-colic", Model: "alex"}
 
 	cases := []struct {
@@ -70,8 +76,122 @@ func TestCheckFlagConflicts(t *testing.T) {
 		}, "effective shard size 8"},
 		{"resume-logreg-ignores-shard", func(f *runFlags) {
 			f.Resume = "ckpt"
-			f.ResumeState = &train.State{Kind: train.KindLogReg, ShardSize: 8}
+			f.ResumeState = &train.State{
+				Kind: train.KindLogReg, ShardSize: 8,
+				Regs: []train.RegState{{Name: "weights"}},
+			}
 		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base
+			tc.mutate(&f)
+			err := checkFlagConflicts(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("conflict error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestParsePrior(t *testing.T) {
+	cases := []struct {
+		in          string
+		family, key string
+		wantErr     string
+	}{
+		{in: "gm", family: "gm"},
+		{in: "laplace", family: "laplace"},
+		{in: "student-t", family: "student-t"},
+		{in: "slope", family: "slope"},
+		{in: "informative:ref", family: "informative", key: "ref"},
+		{in: "informative", wantErr: "needs a reference checkpoint"},
+		{in: "informative:", wantErr: "needs a reference checkpoint"},
+		{in: "laplace:x", wantErr: "takes no :argument"},
+		{in: "ridge", wantErr: "unknown prior family"},
+	}
+	for _, tc := range cases {
+		fam, key, err := parsePrior(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parsePrior(%q) err = %v, want substring %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil || fam != tc.family || key != tc.key {
+			t.Errorf("parsePrior(%q) = (%q, %q, %v), want (%q, %q, nil)", tc.in, fam, key, err, tc.family, tc.key)
+		}
+	}
+}
+
+func TestSelectedFamily(t *testing.T) {
+	cases := []struct {
+		prior, reg, want string
+	}{
+		{"", "", "gm"},   // defaults: the paper's GM
+		{"", "gm", "gm"}, // explicit legacy spelling
+		{"", "l2", ""},   // fixed baseline: no adaptive state
+		{"gm", "", "gm"}, // canonical spelling
+		{"laplace", "", "laplace"},
+		{"student-t", "", "student-t"},
+		{"slope", "", ""}, // stateless: checkpoints carry no family
+		{"informative:ref", "", "informative"},
+	}
+	for _, tc := range cases {
+		got := selectedFamily(runFlags{Prior: tc.prior, Reg: tc.reg})
+		if got != tc.want {
+			t.Errorf("selectedFamily(prior=%q, reg=%q) = %q, want %q", tc.prior, tc.reg, got, tc.want)
+		}
+	}
+}
+
+func TestPriorFlagConflicts(t *testing.T) {
+	base := runFlags{Trainers: 1, Workers: 1, Batch: 32, Dataset: "horse-colic", Model: "alex"}
+	lapCkpt := func() *train.State {
+		st := &train.State{Kind: train.KindLogReg}
+		st.SetPriors([]train.PriorState{{Name: "weights", Snap: core.PriorSnapshot{Family: core.FamilyLaplace}}})
+		return st
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*runFlags)
+		wantErr string
+	}{
+		{"prior-alone", func(f *runFlags) { f.Prior = "laplace" }, ""},
+		{"prior-with-reg-gm", func(f *runFlags) { f.Prior, f.Reg = "laplace", "gm" }, ""},
+		{"prior-with-reg-l2", func(f *runFlags) { f.Prior, f.Reg = "laplace", "l2" }, "two spellings"},
+		{"prior-invalid", func(f *runFlags) { f.Prior = "cauchy" }, "unknown prior family"},
+		{"informative-no-store", func(f *runFlags) { f.Prior = "informative:ref" }, "needs -store"},
+		{"informative-missing-store", func(f *runFlags) {
+			f.Prior, f.StorePath = "informative:ref", "/nonexistent/x.store"
+		}, "readable store"},
+		{"resume-gm-into-laplace", func(f *runFlags) {
+			f.Resume, f.Prior = "ckpt", "laplace"
+			f.ResumeState = &train.State{Kind: train.KindLogReg, Regs: []train.RegState{{Name: "weights"}}}
+		}, `prior family "gm" but this run selects "laplace"`},
+		{"resume-fixed-into-gm", func(f *runFlags) {
+			f.Resume = "ckpt"
+			f.ResumeState = &train.State{Kind: train.KindLogReg}
+		}, `prior family "fixed" but this run selects "gm"`},
+		{"resume-fixed-into-l2", func(f *runFlags) {
+			f.Resume, f.Reg = "ckpt", "l2"
+			f.ResumeState = &train.State{Kind: train.KindLogReg}
+		}, ""},
+		{"resume-laplace-into-laplace", func(f *runFlags) {
+			f.Resume, f.Prior, f.ResumeState = "ckpt", "laplace", lapCkpt()
+		}, ""},
+		{"resume-laplace-into-default", func(f *runFlags) {
+			f.Resume, f.ResumeState = "ckpt", lapCkpt()
+		}, `prior family "laplace" but this run selects "gm"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -16,6 +16,14 @@
 // cells as empty/?/NA). With -reg gm the learned per-layer mixtures are
 // printed after training.
 //
+// -prior picks the adaptive-regularization prior family behind the EM loop:
+// gm (the default zero-mean Gaussian mixture), laplace or student-t (EP-GIG
+// scale mixtures with a learned rate), slope (sorted-L1, a fixed prior), or
+// informative:<store-key> (Gaussian centered on a reference checkpoint loaded
+// from -store — fine-tuning toward an earlier model). -prior and a non-gm
+// -reg are mutually exclusive; -resume rejects checkpoints trained under a
+// different prior family.
+//
 // -workers N (CIFAR only) trains data-parallel via dist.Network: each
 // minibatch is sharded across N model replicas running concurrently, with a
 // deterministic gradient reduction (see DESIGN.md §8). -shard pins the
@@ -87,7 +95,8 @@ func main() {
 		label     = flag.String("label", "", "label column for -csv (default: last column)")
 		model     = flag.String("model", "alex", "CNN for -dataset cifar: alex|resnet")
 		regName   = flag.String("reg", "gm", "regularizer: gm|l1|l2|elastic|huber|none")
-		beta      = flag.Float64("beta", 1, "strength for the fixed baselines")
+		prior     = cli.Prior(flag.CommandLine)
+		beta      = flag.Float64("beta", 1, "strength for the fixed baselines (also SLOPE's top weight and the informative prior's initial pull)")
 		gamma     = flag.Float64("gamma", 0.001, "GM γ (b = γ·M)")
 		epochs    = flag.Int("epochs", 40, "training epochs")
 		lr        = flag.Float64("lr", 0.5, "learning rate (use ~0.01 for CNNs)")
@@ -125,6 +134,7 @@ func main() {
 		Workers: *workers, Shard: *shard, Batch: *batch,
 		Dataset: *dataset, Model: *model, CSV: *csvPath,
 		Resume: *resume, Save: *save,
+		Reg: *regName, Prior: *prior, StorePath: *stPath,
 	}
 	if *join != "" {
 		if err := checkFlagConflicts(flags); err != nil {
@@ -142,10 +152,6 @@ func main() {
 	}
 	defer done()
 
-	factory, err := buildFactory(*regName, *beta, *gamma, sinkOrNil(sink))
-	if err != nil {
-		fatal(err)
-	}
 	cfg := train.SGDConfig{
 		LearningRate: *lr,
 		Momentum:     0.9,
@@ -167,6 +173,10 @@ func main() {
 		flags.ResumeState = pol.Resume
 	}
 	if err := checkFlagConflicts(flags); err != nil {
+		fatal(err)
+	}
+	factory, err := buildFactory(*regName, *prior, *beta, *gamma, *stPath, sinkOrNil(sink))
+	if err != nil {
 		fatal(err)
 	}
 	installSignalStop(&cfg)
@@ -275,9 +285,12 @@ func runTabularMLP(name string, cfg train.SGDConfig, factory gmreg.Factory, seed
 	sort.Strings(names)
 	gms := map[string]*core.GM{}
 	for _, n := range names {
-		if g, ok := res.Regs[n].(*core.GM); ok {
-			printGM(n, g)
-			gms[n] = g
+		switch p := res.Regs[n].(type) {
+		case *core.GM:
+			printGM(n, p)
+			gms[n] = p
+		case core.Prior:
+			printPrior(n, p)
 		}
 	}
 	if saveKey != "" {
@@ -389,14 +402,42 @@ func sinkOrNil(j *obs.JSONL) gmreg.Sink {
 	return j
 }
 
-func buildFactory(name string, beta, gamma float64, sink gmreg.Sink) (gmreg.Factory, error) {
+// buildFactory assembles the regularizer factory from the canonical -prior
+// flag (which wins when set) or the legacy -reg flag. beta doubles as
+// SLOPE's top rank weight and the informative prior's initial pull
+// precision; storePath names the store the informative reference checkpoint
+// is loaded from.
+func buildFactory(name, prior string, beta, gamma float64, storePath string, sink gmreg.Sink) (gmreg.Factory, error) {
+	opts := []gmreg.Option{gmreg.WithGamma(gamma)}
+	if sink != nil {
+		opts = append(opts, gmreg.WithSink(sink))
+	}
+	if prior != "" {
+		family, key, err := parsePrior(prior)
+		if err != nil {
+			return nil, err
+		}
+		switch family {
+		case "gm":
+			// Default spec: New without WithPrior builds the adaptive GM.
+		case "laplace":
+			opts = append(opts, gmreg.WithPrior(gmreg.LaplacePrior()))
+		case "student-t":
+			opts = append(opts, gmreg.WithPrior(gmreg.StudentTPrior(1)))
+		case "slope":
+			opts = append(opts, gmreg.WithPrior(gmreg.SlopePrior(beta, 0.1)))
+		case "informative":
+			spec, err := gmreg.InformativePriorFromStore(storePath, key, beta)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, gmreg.WithPrior(spec))
+		}
+		return gmreg.New(opts...), nil
+	}
 	switch name {
 	case "gm":
-		opts := []gmreg.Option{gmreg.WithGamma(gamma)}
-		if sink != nil {
-			opts = append(opts, gmreg.WithSink(sink))
-		}
-		return gmreg.GMFactory(opts...), nil
+		return gmreg.New(opts...), nil
 	case "l1":
 		return gmreg.L1(beta), nil
 	case "l2":
@@ -444,8 +485,13 @@ func trainAndReport(task *data.Task, cfg train.SGDConfig, factory gmreg.Factory,
 	if err := refuseSaveInterrupted(); err != nil {
 		return err
 	}
+	switch p := res.Regularizer.(type) {
+	case *core.GM:
+		printGM("weights", p)
+	case core.Prior:
+		printPrior("weights", p)
+	}
 	if g, ok := res.Regularizer.(*core.GM); ok {
-		printGM("weights", g)
 		if gmSnapshotPath != "" {
 			blob, err := json.MarshalIndent(g, "", "  ")
 			if err != nil {
@@ -511,9 +557,12 @@ func runCIFAR(model string, cfg train.SGDConfig, factory gmreg.Factory, trainN, 
 	sort.Strings(names)
 	gms := map[string]*core.GM{}
 	for _, n := range names {
-		if g, ok := res.Regs[n].(*core.GM); ok {
-			printGM(n, g)
-			gms[n] = g
+		switch p := res.Regs[n].(type) {
+		case *core.GM:
+			printGM(n, p)
+			gms[n] = p
+		case core.Prior:
+			printPrior(n, p)
 		}
 	}
 	if saveKey != "" {
@@ -565,6 +614,17 @@ var saveKey, savePath string
 
 func printGM(name string, g *core.GM) {
 	fmt.Printf("learned GM for %s: π = %v, λ = %v\n", name, rounded(g.Pi()), rounded(g.Lambda()))
+}
+
+// printPrior reports a non-GM prior's learned state: the single rate the
+// EP-GIG and informative families fit in place of a mixture. Stateless priors
+// (SLOPE, fixed baselines) have nothing learned to report.
+func printPrior(name string, p core.Prior) {
+	if !p.Stateful() {
+		return
+	}
+	_, rate := p.Mixture()
+	fmt.Printf("learned %s prior for %s: rate = %v\n", p.Family(), name, rounded(rate))
 }
 
 func rounded(xs []float64) []float64 {

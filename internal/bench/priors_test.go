@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPriorAblation(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunPriorAblation(&buf, microScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != 12 {
+		t.Fatalf("%d datasets, want 12", len(res.Datasets))
+	}
+	for _, model := range PriorAblationModels {
+		wins := 0
+		for _, fam := range PriorFamilies {
+			accs := res.Acc[model][fam]
+			if len(accs) != len(res.Datasets) {
+				t.Fatalf("%s/%s: %d cells, want %d", model, fam, len(accs), len(res.Datasets))
+			}
+			for ds, a := range accs {
+				if a < 0.3 || a > 1 {
+					t.Errorf("%s/%s/%s accuracy %v implausible", model, fam, ds, a)
+				}
+			}
+			wins += res.WinsOrTies[model][fam]
+		}
+		// Every dataset has at least one winner (ties can add more).
+		if wins < len(res.Datasets) {
+			t.Errorf("%s: %d wins/ties across families, want >= %d", model, wins, len(res.Datasets))
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Prior-family ablation, logreg", "Prior-family ablation, mlp", "wins/ties", "informative"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

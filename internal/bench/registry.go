@@ -85,6 +85,10 @@ var registry = map[string]runner{
 		_, err := RunAblationHPO(w, s)
 		return err
 	},
+	"ablation-priors": func(w io.Writer, s Scale, _ Options) error {
+		_, err := RunPriorAblation(w, s)
+		return err
+	},
 	"hotpath": func(w io.Writer, s Scale, _ Options) error {
 		rep, err := RunHotpath(w, s)
 		if err != nil {
@@ -165,7 +169,7 @@ func ExperimentIDs() []string {
 
 // AblationIDs returns the DESIGN.md §5 ablation ids in run order.
 func AblationIDs() []string {
-	return []string{"ablation-k", "ablation-merge", "ablation-gamma", "ablation-grid", "ablation-hpo"}
+	return []string{"ablation-k", "ablation-merge", "ablation-gamma", "ablation-grid", "ablation-hpo", "ablation-priors"}
 }
 
 // AllIDs returns the default "run everything" order: tables, figures, then

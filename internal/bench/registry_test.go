@@ -9,7 +9,7 @@ import (
 func TestExperimentIDsComplete(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{
-		"ablation-gamma", "ablation-grid", "ablation-hpo", "ablation-k", "ablation-merge",
+		"ablation-gamma", "ablation-grid", "ablation-hpo", "ablation-k", "ablation-merge", "ablation-priors",
 		"autotune", "dataparallel", "distnet", "fig3", "fig4", "fig5", "fig6", "fig7", "hotpath",
 		"serve", "serveload", "table4", "table5", "table6", "table7", "table8",
 	}

@@ -3,6 +3,7 @@
 //
 //	-seed       RNG seed                          (gmreg-train, gmreg-bench)
 //	-store      checkpoint store file             (gmreg-train, gmreg-serve)
+//	-prior      prior family for adaptive reg     (gmreg-train)
 //	-workers    data-parallel training replicas   (gmreg-train)
 //	-shard      micro-shard size                  (gmreg-train)
 //	-prefetch   background batch assembly         (gmreg-train)
@@ -65,6 +66,14 @@ func Join(fs *flag.FlagSet) *string {
 // waits for before the first step; also the default shard partition width).
 func Trainers(fs *flag.FlagSet) *int {
 	return fs.Int("trainers", 1, "trainer processes the coordinator waits for before training starts (pin -shard for bit-identical results across counts)")
+}
+
+// Prior registers the canonical -prior flag (the prior family behind the
+// adaptive-regularization EM loop). The informative family names its
+// reference checkpoint inline: -prior informative:<store-key>, resolved
+// against the command's -store file.
+func Prior(fs *flag.FlagSet) *string {
+	return fs.String("prior", "", "prior family: gm|laplace|student-t|slope|informative:<ckpt-key> (default: follow -reg)")
 }
 
 // Prefetch registers the canonical -prefetch flag.

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// EP-GIG priors (Zhang, Wang & Liu; see PAPERS.md): Gaussian scale mixtures
+// whose mixing density over the per-weight variance is generalized inverse
+// Gaussian. Two classical members have fully closed-form EM updates and slot
+// straight into the paper's interleaved lazy-update loop:
+//
+//   - Laplace: σ²_m ~ Exp(λ/2) gives the marginal w_m ~ Laplace(√λ); the
+//     posterior over σ²_m is GIG(p=½, χ=w², ψ=λ) and the E-step expectation
+//     of the precision is E[1/σ²|w] = √λ/|w| — the EM view of L1.
+//   - Student-t: τ_m ~ Gamma(α, β) over the precision gives a Student-t
+//     marginal with 2α degrees of freedom; the posterior is
+//     Gamma(α+½, β+w²/2), so E[τ|w] = (2α+1)/(2β+w²).
+//
+// In both cases the fold-in gradient is ω_m·w_m with ω_m the expected
+// precision, exactly like the GM's Σ_k r_k·λ_k — only the E-step formula and
+// the scalar M-step differ, so one GIG type with a kind switch covers both.
+// The single rate hyper-parameter (λ or β) is learned by a closed-form
+// M-step under the same Gamma(a, b) hyper-prior recipe the GM uses
+// (b = γ·M, a = 1 + ARatio·b), keeping the update stable on the
+// non-stationary parameter stream.
+
+// gigEps floors |w| in the Laplace E-step: E[1/σ²|w] = √λ/|w| diverges as a
+// weight crosses zero, and the floor bounds the folded gradient exactly like
+// the subgradient convention bounds L1's.
+const gigEps = 1e-8
+
+// GIG is an EP-GIG scale-mixture prior (Laplace or Student-t) for one
+// parameter group. Like the GM it is stateful and advances its lazy-update
+// schedule one iteration per Grad call; unlike the GM its learned state is a
+// single rate hyper-parameter, so E- and M-steps are O(M) with tiny
+// constants.
+//
+// GIG is not safe for concurrent use except for Penalty, which keeps its
+// reads loadless-scratch local (eval may call it concurrently with training
+// only while the trainer is between Grad calls, as with the GM).
+type GIG struct {
+	emBase
+	kind string // FamilyLaplace or FamilyStudentT
+	cfg  Config
+	m    int
+
+	rate  float64 // λ (Laplace) or β (Student-t)
+	alpha float64 // Student-t mixing shape; 0 for Laplace
+
+	// Gamma(a, b) hyper-prior on the rate.
+	a float64
+	b float64
+
+	// Scratch from the last E-step.
+	omega []float64 // per-weight expected precision ω_m
+	sumE  float64   // Σ E[σ²_m] (Laplace) or Σ ω_m (Student-t)
+}
+
+// NewLaplace builds a Laplace (EP-GIG, exponential mixing) prior for a
+// parameter group with m dimensions. The initial rate matches the configured
+// anchor precision: λ₀ = 2·MinPrecision, so E[σ²] = 2/λ₀ equals the anchor
+// variance and the initial pull is as weak as the GM's.
+func NewLaplace(m int, cfg Config) (*GIG, error) {
+	g, err := newGIG(FamilyLaplace, m, 0, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.rate = 2 * cfg.MinPrecision
+	return g, nil
+}
+
+// NewStudentT builds a Student-t (EP-GIG, Gamma mixing) prior with mixing
+// shape alpha (degrees of freedom 2·alpha; alpha ≤ 1 keeps the heavy tail
+// that makes the family robust). The initial rate anchors the expected
+// precision: E[τ] = alpha/β₀ = MinPrecision.
+func NewStudentT(m int, alpha float64, cfg Config) (*GIG, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("core: Student-t mixing shape must be positive, got %v", alpha)
+	}
+	g, err := newGIG(FamilyStudentT, m, alpha, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g.rate = alpha / cfg.MinPrecision
+	return g, nil
+}
+
+func newGIG(kind string, m int, alpha float64, cfg Config) (*GIG, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: parameter group must have at least 1 dimension, got %d", m)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GIG{kind: kind, cfg: cfg, m: m, alpha: alpha}
+	g.b = cfg.Gamma * float64(m)
+	g.a = 1 + cfg.ARatio*g.b
+	g.sched = lazySchedule{
+		Warmup:          cfg.WarmupEpochs,
+		RegEvery:        cfg.RegInterval,
+		GMEvery:         cfg.GMInterval,
+		BatchesPerEpoch: cfg.BatchesPerEpoch,
+	}
+	g.greg = make([]float64, m)
+	g.omega = make([]float64, m)
+	return g, nil
+}
+
+// Name identifies the prior in reports.
+func (g *GIG) Name() string {
+	if g.kind == FamilyLaplace {
+		return "Laplace Reg (EP-GIG)"
+	}
+	return "Student-t Reg (EP-GIG)"
+}
+
+// M returns the number of parameter dimensions this prior regularizes.
+func (g *GIG) M() int { return g.m }
+
+// Rate returns the learned rate hyper-parameter (λ for Laplace, β for
+// Student-t).
+func (g *GIG) Rate() float64 { return g.rate }
+
+// CalExpectation runs the E-step: the per-weight expected precision ω_m
+// (folded into the gradient as ω_m·w_m) and the sufficient statistic the
+// M-step needs, both in closed form from the GIG posterior.
+func (g *GIG) CalExpectation(w []float64) {
+	g.checkDim(w)
+	g.timedEStep(func() {
+		g.sumE = 0
+		switch g.kind {
+		case FamilyLaplace:
+			sqrtL := math.Sqrt(g.rate)
+			invL := 1 / g.rate
+			for m, wm := range w {
+				aw := math.Abs(wm)
+				if aw < gigEps {
+					aw = gigEps
+				}
+				g.omega[m] = sqrtL / aw
+				g.sumE += aw/sqrtL + invL // E[σ²|w] for the M-step
+			}
+		default: // FamilyStudentT
+			num := 2*g.alpha + 1
+			for m, wm := range w {
+				o := num / (2*g.rate + wm*wm)
+				g.omega[m] = o
+				g.sumE += o // E[τ|w] for the M-step
+			}
+		}
+	})
+}
+
+// CalcRegGrad caches the fold-in gradient ω_m·w_m from the most recent
+// E-step, mirroring the GM's Eq. 10 cache that the lazy schedule reuses.
+func (g *GIG) CalcRegGrad(w []float64) {
+	g.checkDim(w)
+	for m, wm := range w {
+		g.greg[m] = g.omega[m] * wm
+	}
+}
+
+// UptParam runs the closed-form M-step for the rate under the Gamma(a, b)
+// hyper-prior, using the sufficient statistic from the last E-step.
+func (g *GIG) UptParam() {
+	g.timedMStep(func() {
+		switch g.kind {
+		case FamilyLaplace:
+			// λ ~ Gamma(a,b) prior; complete-data likelihood Exp(λ/2) over M
+			// variances: λ = (2M + 2(a−1)) / (2b + Σ E[σ²_m]).
+			g.rate = (2*float64(g.m) + 2*(g.a-1)) / (2*g.b + g.sumE)
+		default:
+			// β ~ Gamma(a,b) prior; Gamma(α,β) mixing over M precisions:
+			// β = (M·α + a − 1) / (Σ ω_m + b).
+			g.rate = (float64(g.m)*g.alpha + g.a - 1) / (g.sumE + g.b)
+		}
+	})
+}
+
+// Grad writes the regularization gradient for w into dst, advancing the
+// shared Algorithm 2 lazy-update schedule by one iteration.
+func (g *GIG) Grad(w, dst []float64) {
+	g.checkDim(w)
+	if len(dst) != g.m {
+		panic(fmt.Sprintf("core: dst has %d dims, want %d", len(dst), g.m))
+	}
+	lazyStep(g.sched, &g.cur,
+		func() { g.CalExpectation(w) },
+		func() { g.CalcRegGrad(w) },
+		func() { copy(dst, g.greg) },
+		g.UptParam)
+}
+
+// Penalty returns the negative log marginal prior density of w up to
+// constants: √λ·Σ|w_m| − M·ln(√λ/2) for Laplace,
+// Σ (α+½)·ln(β + w²_m/2) − M·α·ln β for Student-t. Scratch-free and safe to
+// call concurrently with other Penalty calls.
+func (g *GIG) Penalty(w []float64) float64 {
+	g.checkDim(w)
+	var nll float64
+	switch g.kind {
+	case FamilyLaplace:
+		sqrtL := math.Sqrt(g.rate)
+		var abs float64
+		for _, wm := range w {
+			abs += math.Abs(wm)
+		}
+		nll = sqrtL*abs - float64(g.m)*math.Log(sqrtL/2)
+	default:
+		half := g.alpha + 0.5
+		for _, wm := range w {
+			nll += half * math.Log(g.rate+wm*wm/2)
+		}
+		nll -= float64(g.m) * g.alpha * math.Log(g.rate)
+	}
+	return nll
+}
+
+// HyperPenalty returns the negative log Gamma(a, b) density of the learned
+// rate, up to constants.
+func (g *GIG) HyperPenalty() float64 {
+	return -(g.a-1)*math.Log(g.rate) + g.b*g.rate
+}
+
+// SetBatchesPerEpoch implements Prior, keeping the snapshotted Config in
+// sync with the live schedule (like the GM) so a restore rebuilds the same
+// epoch cadence the running prior had.
+func (g *GIG) SetBatchesPerEpoch(b int) {
+	g.emBase.SetBatchesPerEpoch(b)
+	g.cfg.BatchesPerEpoch = g.sched.BatchesPerEpoch
+}
+
+// Family implements Prior.
+func (g *GIG) Family() string { return g.kind }
+
+// Stateful implements Prior: the learned rate is checkpointed state.
+func (g *GIG) Stateful() bool { return true }
+
+// Mixture implements Prior: a scale mixture has no mixing weights, so π is
+// nil and λ is the single learned rate.
+func (g *GIG) Mixture() (pi, lambda []float64) {
+	return nil, []float64{g.rate}
+}
+
+// GIGSnapshot is the serializable capture of an EP-GIG prior's state.
+type GIGSnapshot struct {
+	Kind      string  `json:"kind"`
+	M         int     `json:"m"`
+	Rate      float64 `json:"rate"`
+	Alpha     float64 `json:"alpha,omitempty"`
+	A         float64 `json:"a"`
+	B         float64 `json:"b"`
+	Iteration int     `json:"iteration"`
+	EpochIt   int     `json:"epoch_it"`
+	Config    Config  `json:"config"`
+	ESteps    int     `json:"e_steps,omitempty"`
+	MSteps    int     `json:"m_steps,omitempty"`
+	// Greg is the cached fold-in gradient, restored verbatim so a resume
+	// landing mid-interval serves the same cache the uninterrupted run would.
+	Greg []float64 `json:"greg,omitempty"`
+}
+
+// PriorSnapshot implements Prior.
+func (g *GIG) PriorSnapshot() PriorSnapshot {
+	return PriorSnapshot{Family: g.kind, GIG: &GIGSnapshot{
+		Kind:      g.kind,
+		M:         g.m,
+		Rate:      g.rate,
+		Alpha:     g.alpha,
+		A:         g.a,
+		B:         g.b,
+		Iteration: g.cur.It,
+		EpochIt:   g.cur.EpochIt,
+		Config:    g.cfg,
+		ESteps:    g.eSteps,
+		MSteps:    g.mSteps,
+		Greg:      append([]float64(nil), g.greg...),
+	}}
+}
+
+// FromGIGSnapshot reconstructs an EP-GIG prior from a snapshot.
+func FromGIGSnapshot(s GIGSnapshot) (*GIG, error) {
+	if s.Kind != FamilyLaplace && s.Kind != FamilyStudentT {
+		return nil, fmt.Errorf("core: GIG snapshot has unknown kind %q", s.Kind)
+	}
+	if s.Kind == FamilyStudentT && s.Alpha <= 0 {
+		return nil, fmt.Errorf("core: Student-t snapshot has shape %v", s.Alpha)
+	}
+	if s.Rate <= 0 {
+		return nil, fmt.Errorf("core: GIG snapshot has rate %v, want positive", s.Rate)
+	}
+	if s.Greg != nil && len(s.Greg) != s.M {
+		return nil, fmt.Errorf("core: GIG snapshot cached gradient has %d dims, want %d", len(s.Greg), s.M)
+	}
+	g, err := newGIG(s.Kind, s.M, s.Alpha, s.Config)
+	if err != nil {
+		return nil, err
+	}
+	g.rate = s.Rate
+	g.a, g.b = s.A, s.B
+	g.cur = lazyCursor{It: s.Iteration, EpochIt: s.EpochIt}
+	g.eSteps, g.mSteps = s.ESteps, s.MSteps
+	if s.Greg != nil {
+		copy(g.greg, s.Greg)
+	}
+	return g, nil
+}
+
+// RestorePrior implements Prior, rejecting snapshots of other families and
+// preserving installed hooks.
+func (g *GIG) RestorePrior(s PriorSnapshot) error {
+	if s.Family != g.kind || s.GIG == nil {
+		return fmt.Errorf("core: restoring %q prior state into a %q prior", s.Family, g.kind)
+	}
+	if s.GIG.M != g.m {
+		return fmt.Errorf("core: restoring snapshot of %d dims into prior built for %d", s.GIG.M, g.m)
+	}
+	restored, err := FromGIGSnapshot(*s.GIG)
+	if err != nil {
+		return err
+	}
+	hooks := g.hooks
+	*g = *restored
+	g.hooks = hooks
+	return nil
+}
+
+func (g *GIG) checkDim(w []float64) {
+	if len(w) != g.m {
+		panic(fmt.Sprintf("core: parameter vector has %d dims, prior built for %d", len(w), g.m))
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+// integrate computes ∫₀^∞ f(x)dx by trapezoid on a log grid (x = eᵘ,
+// dx = eᵘdu) — slow but independent of every closed form under test.
+func integrate(f func(float64) float64) float64 {
+	const lo, hi = -42.0, 42.0
+	const n = 200000
+	h := (hi - lo) / n
+	var sum float64
+	for i := 0; i <= n; i++ {
+		u := lo + float64(i)*h
+		x := math.Exp(u)
+		v := f(x) * x // Jacobian
+		if i == 0 || i == n {
+			v /= 2
+		}
+		sum += v
+	}
+	return sum * h
+}
+
+// gigMoment computes E[x^k] under the GIG density ∝ x^{p−1}·e^{−(ψx+χ/x)/2}
+// by numeric integration.
+func gigMoment(p, chi, psi, k float64) float64 {
+	dens := func(x float64) float64 {
+		return math.Pow(x, p-1) * math.Exp(-(psi*x+chi/x)/2)
+	}
+	z := integrate(dens)
+	return integrate(func(x float64) float64 { return math.Pow(x, k) * dens(x) }) / z
+}
+
+// gammaMoment computes E[x^k] under Gamma(shape, rate) by numeric
+// integration.
+func gammaMoment(shape, rate, k float64) float64 {
+	dens := func(x float64) float64 {
+		return math.Pow(x, shape-1) * math.Exp(-rate*x)
+	}
+	z := integrate(dens)
+	return integrate(func(x float64) float64 { return math.Pow(x, k) * dens(x) }) / z
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestLaplaceEStepMatchesNumericPosterior checks the closed-form E-step
+// against slow numeric moments of the GIG(½, w², λ) posterior: the folded
+// precision ω = E[1/σ²|w] and the M-step statistic E[σ²|w].
+func TestLaplaceEStepMatchesNumericPosterior(t *testing.T) {
+	w := []float64{0.3, -0.9, 0.05, 1.7}
+	g, err := NewLaplace(len(w), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.rate = 7.5 // exercise a non-initial λ
+	g.CalExpectation(w)
+
+	var wantSumE float64
+	for m, wm := range w {
+		chi := wm * wm
+		wantOmega := gigMoment(0.5, chi, g.rate, -1)
+		if d := relDiff(g.omega[m], wantOmega); d > 1e-5 {
+			t.Errorf("ω[%d] = %v, numeric GIG moment %v (rel %v)", m, g.omega[m], wantOmega, d)
+		}
+		wantSumE += gigMoment(0.5, chi, g.rate, 1)
+	}
+	if d := relDiff(g.sumE, wantSumE); d > 1e-5 {
+		t.Errorf("ΣE[σ²] = %v, numeric %v (rel %v)", g.sumE, wantSumE, d)
+	}
+}
+
+// TestStudentTEStepMatchesNumericPosterior checks E[τ|w] against numeric
+// moments of the Gamma(α+½, β+w²/2) posterior.
+func TestStudentTEStepMatchesNumericPosterior(t *testing.T) {
+	w := []float64{0.4, -1.2, 0.01}
+	g, err := NewStudentT(len(w), 1.5, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.rate = 0.8
+	g.CalExpectation(w)
+
+	var wantSum float64
+	for m, wm := range w {
+		want := gammaMoment(g.alpha+0.5, g.rate+wm*wm/2, 1)
+		if d := relDiff(g.omega[m], want); d > 1e-6 {
+			t.Errorf("ω[%d] = %v, numeric Gamma moment %v (rel %v)", m, g.omega[m], want, d)
+		}
+		wantSum += want
+	}
+	if d := relDiff(g.sumE, wantSum); d > 1e-6 {
+		t.Errorf("Στ = %v, numeric %v (rel %v)", g.sumE, wantSum, d)
+	}
+}
+
+// TestGIGRegGradMatchesNumericalGradient checks that the folded gradient
+// ω_m·w_m equals the numeric gradient of the marginal Penalty — the EM
+// identity that makes the fold-in a valid MAP gradient step.
+func TestGIGRegGradMatchesNumericalGradient(t *testing.T) {
+	for _, kind := range []string{FamilyLaplace, FamilyStudentT} {
+		var g *GIG
+		var err error
+		w := []float64{0.31, -0.87, 0.44, 1.2} // away from the L1 kink at 0
+		if kind == FamilyLaplace {
+			g, err = NewLaplace(len(w), testConfig())
+		} else {
+			g, err = NewStudentT(len(w), 1, testConfig())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.CalExpectation(w)
+		g.CalcRegGrad(w)
+		const h = 1e-6
+		for m := range w {
+			wp := append([]float64(nil), w...)
+			wm := append([]float64(nil), w...)
+			wp[m] += h
+			wm[m] -= h
+			num := (g.Penalty(wp) - g.Penalty(wm)) / (2 * h)
+			if d := math.Abs(g.greg[m] - num); d > 1e-5 {
+				t.Errorf("%s: greg[%d] = %v, numeric ∂Penalty = %v", kind, m, g.greg[m], num)
+			}
+		}
+	}
+}
+
+// TestGIGMStepMaximizesObjective checks the closed-form rate update against
+// the expected complete-data objective it is supposed to maximize: nudging
+// the rate either way must not improve the objective.
+func TestGIGMStepMaximizesObjective(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	w := make([]float64, 200)
+	rng.FillNormal(w, 0, 0.3)
+
+	lap, err := NewLaplace(len(w), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap.CalExpectation(w)
+	lap.UptParam()
+	qLap := func(l float64) float64 {
+		return float64(lap.m)*math.Log(l/2) - l/2*lap.sumE + (lap.a-1)*math.Log(l) - lap.b*l
+	}
+	checkArgmax(t, "laplace", qLap, lap.rate)
+
+	st, err := NewStudentT(len(w), 1.2, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.CalExpectation(w)
+	st.UptParam()
+	qSt := func(b float64) float64 {
+		return float64(st.m)*st.alpha*math.Log(b) - b*st.sumE + (st.a-1)*math.Log(b) - st.b*b
+	}
+	checkArgmax(t, "student-t", qSt, st.rate)
+}
+
+func checkArgmax(t *testing.T, name string, q func(float64) float64, at float64) {
+	t.Helper()
+	best := q(at)
+	for _, f := range []float64{0.9, 0.99, 1.01, 1.1} {
+		if q(at*f) > best+1e-9 {
+			t.Errorf("%s: objective at %v·rate beats the M-step rate %v", name, f, at)
+		}
+	}
+}
+
+// TestGIGGradFollowsLazySchedule checks that the EP-GIG priors advance
+// Algorithm 2's lazy schedule exactly like the GM: E-steps every RegInterval
+// after warm-up, M-steps every GMInterval, cached greg in between.
+func TestGIGGradFollowsLazySchedule(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmupEpochs = 1
+	cfg.RegInterval = 4
+	cfg.GMInterval = 8
+	cfg.BatchesPerEpoch = 10
+	g, err := NewLaplace(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 8)
+	dst := make([]float64, 8)
+	rng := tensor.NewRNG(9)
+	rng.FillNormal(w, 0, 0.1)
+	for i := 0; i < 10; i++ { // warm-up epoch: every iteration is a full pass
+		g.Grad(w, dst)
+	}
+	e, m := g.Steps()
+	if e != 10 || m != 10 {
+		t.Fatalf("after warm-up: e=%d m=%d, want 10/10", e, m)
+	}
+	for i := 0; i < 8; i++ {
+		g.Grad(w, dst)
+	}
+	e2, m2 := g.Steps()
+	// Iterations 10..17: E-steps at 12 and 16 (i%4==0), M-step at 16 (i%8==0).
+	if e2-e != 2 || m2-m != 1 {
+		t.Fatalf("post-warm-up deltas: e=%d m=%d, want 2/1", e2-e, m2-m)
+	}
+	if sr := g.SkipRatio(); sr <= 0 {
+		t.Fatalf("SkipRatio = %v, want positive after lazy phase", sr)
+	}
+}
+
+// TestGIGSnapshotRoundTrip checks that restoring a snapshot continues the
+// gradient stream bit-identically for both EP-GIG kinds.
+func TestGIGSnapshotRoundTrip(t *testing.T) {
+	for _, kind := range []string{FamilyLaplace, FamilyStudentT} {
+		cfg := testConfig()
+		cfg.WarmupEpochs = 1
+		cfg.BatchesPerEpoch = 3
+		var mk func() *GIG
+		if kind == FamilyLaplace {
+			mk = func() *GIG { g, _ := NewLaplace(16, cfg); return g }
+		} else {
+			mk = func() *GIG { g, _ := NewStudentT(16, 1, cfg); return g }
+		}
+		orig := mk()
+		w := make([]float64, 16)
+		dst := make([]float64, 16)
+		rng := tensor.NewRNG(11)
+		rng.FillNormal(w, 0, 0.2)
+		for i := 0; i < 7; i++ {
+			orig.Grad(w, dst)
+		}
+
+		snap := orig.PriorSnapshot()
+		if snap.Family != kind || snap.GIG == nil {
+			t.Fatalf("%s: snapshot family %q, GIG nil=%v", kind, snap.Family, snap.GIG == nil)
+		}
+		restored := mk()
+		if err := restored.RestorePrior(snap); err != nil {
+			t.Fatalf("%s: restore: %v", kind, err)
+		}
+		if restored.Rate() != orig.Rate() {
+			t.Fatalf("%s: restored rate %v, want %v", kind, restored.Rate(), orig.Rate())
+		}
+		d1 := make([]float64, 16)
+		d2 := make([]float64, 16)
+		for i := 0; i < 9; i++ {
+			orig.Grad(w, d1)
+			restored.Grad(w, d2)
+			for m := range d1 {
+				if d1[m] != d2[m] {
+					t.Fatalf("%s: gradient diverged at continuation step %d dim %d", kind, i, m)
+				}
+			}
+		}
+	}
+}
+
+// TestGIGRestoreRejectsMismatch checks cross-family and cross-geometry
+// restores fail loudly instead of silently corrupting state.
+func TestGIGRestoreRejectsMismatch(t *testing.T) {
+	lap, _ := NewLaplace(8, testConfig())
+	st, _ := NewStudentT(8, 1, testConfig())
+	if err := st.RestorePrior(lap.PriorSnapshot()); err == nil {
+		t.Error("student-t accepted a laplace snapshot")
+	}
+	if err := lap.RestorePrior(st.PriorSnapshot()); err == nil {
+		t.Error("laplace accepted a student-t snapshot")
+	}
+	gm := MustNewGM(8, testConfig())
+	if err := lap.RestorePrior(gm.PriorSnapshot()); err == nil {
+		t.Error("laplace accepted a GM snapshot")
+	}
+	if err := gm.RestorePrior(lap.PriorSnapshot()); err == nil {
+		t.Error("GM accepted a laplace snapshot")
+	}
+	big, _ := NewLaplace(16, testConfig())
+	if err := lap.RestorePrior(big.PriorSnapshot()); err == nil {
+		t.Error("laplace accepted a snapshot of different dimensionality")
+	}
+}
+
+// TestGIGConstructorValidation mirrors the GM's constructor contract.
+func TestGIGConstructorValidation(t *testing.T) {
+	if _, err := NewLaplace(0, testConfig()); err == nil {
+		t.Error("NewLaplace accepted m=0")
+	}
+	if _, err := NewStudentT(4, 0, testConfig()); err == nil {
+		t.Error("NewStudentT accepted alpha=0")
+	}
+	bad := testConfig()
+	bad.Gamma = 0
+	if _, err := NewLaplace(4, bad); err == nil {
+		t.Error("NewLaplace accepted an invalid config")
+	}
+}
+
+// TestGIGPenaltyConcurrentWithEStep mirrors the GM's concurrency contract:
+// eval may compute the penalty while training runs E-steps. Run under -race.
+func TestGIGPenaltyConcurrentWithEStep(t *testing.T) {
+	g, err := NewStudentT(64, 1, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 64)
+	rng := tensor.NewRNG(7)
+	rng.FillNormal(w, 0, 0.1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			g.CalExpectation(w)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if nll := g.Penalty(w); math.IsNaN(nll) {
+			t.Error("Penalty returned NaN")
+			break
+		}
+	}
+	<-done
+}

@@ -328,27 +328,22 @@ func (g *GM) Grad(w, dst []float64) {
 	if len(dst) != g.m {
 		panic(fmt.Sprintf("core: dst has %d dims, want %d", len(dst), g.m))
 	}
-	warm := g.epochIt < g.cfg.WarmupEpochs
-	if warm || g.it%g.cfg.RegInterval == 0 {
-		g.CalResponsibility(w)
-		g.CalcRegGrad(w)
-	}
-	copy(dst, g.greg)
-	if warm || g.it%g.cfg.GMInterval == 0 {
-		// Responsibilities may be stale when GMInterval is not a multiple
-		// of RegInterval; refresh them so the M-step sees current w.
-		if !(warm || g.it%g.cfg.RegInterval == 0) {
-			g.CalResponsibility(w)
-		}
-		g.UptGMParam()
-	}
-	g.it++
-	b := g.cfg.BatchesPerEpoch
-	if b < 1 {
-		b = 1
-	}
-	if g.it%b == 0 {
-		g.epochIt++
+	cur := lazyCursor{It: g.it, EpochIt: g.epochIt}
+	lazyStep(g.schedule(), &cur,
+		func() { g.CalResponsibility(w) },
+		func() { g.CalcRegGrad(w) },
+		func() { copy(dst, g.greg) },
+		g.UptGMParam)
+	g.it, g.epochIt = cur.It, cur.EpochIt
+}
+
+// schedule maps the GM's configuration onto the shared Algorithm 2 cadence.
+func (g *GM) schedule() lazySchedule {
+	return lazySchedule{
+		Warmup:          g.cfg.WarmupEpochs,
+		RegEvery:        g.cfg.RegInterval,
+		GMEvery:         g.cfg.GMInterval,
+		BatchesPerEpoch: g.cfg.BatchesPerEpoch,
 	}
 }
 
@@ -510,4 +505,28 @@ func (g *GM) checkDim(w []float64) {
 	if len(w) != g.m {
 		panic(fmt.Sprintf("core: parameter vector has %d dims, GM built for %d", len(w), g.m))
 	}
+}
+
+// Family implements Prior.
+func (g *GM) Family() string { return FamilyGM }
+
+// Stateful implements Prior: the learned mixture is checkpointed state.
+func (g *GM) Stateful() bool { return true }
+
+// Mixture implements Prior, returning copies of (π, λ).
+func (g *GM) Mixture() (pi, lambda []float64) { return g.Pi(), g.Lambda() }
+
+// PriorSnapshot implements Prior, wrapping the legacy Snapshot with the
+// family tag.
+func (g *GM) PriorSnapshot() PriorSnapshot {
+	s := g.Snapshot()
+	return PriorSnapshot{Family: FamilyGM, GM: &s}
+}
+
+// RestorePrior implements Prior, rejecting snapshots of other families.
+func (g *GM) RestorePrior(s PriorSnapshot) error {
+	if s.Family != FamilyGM || s.GM == nil {
+		return fmt.Errorf("core: restoring %q prior state into a %q prior", s.Family, FamilyGM)
+	}
+	return g.Restore(*s.GM)
 }

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Informative is a Gaussian prior centered on a reference model's weights
+// (Kori & Sharma; see PAPERS.md): w_m ~ N(w⁰_m, 1/τ) with the single shared
+// precision τ learned online under the same Gamma(a, b) hyper-prior recipe
+// as the other families. It is the fine-tune-from-checkpoint prior — the
+// reference mean w⁰ is typically a previously trained checkpoint loaded
+// from the store, and the learned τ adapts how hard the new run is pulled
+// toward it: if the new task's weights genuinely need to move away, the
+// growing residual Σ(w−w⁰)² drives τ down and the leash loosens.
+//
+// The "EM" loop degenerates — there is no latent variable — but the same
+// lazy schedule applies: the E-step caches the residual sufficient
+// statistic, the M-step is the closed-form τ update, and the fold-in
+// gradient τ·(w − w⁰) is served from cache between refreshes.
+type Informative struct {
+	emBase
+	cfg Config
+	m   int
+
+	mean []float64 // w⁰, the reference weights (copied at construction)
+	tau  float64
+
+	// Gamma(a, b) hyper-prior on τ.
+	a float64
+	b float64
+
+	sumSq float64 // Σ (w_m − w⁰_m)² from the last E-step
+}
+
+// NewInformative builds an informative Gaussian prior centered on mean. A
+// positive tau0 sets the initial precision (the pull strength toward the
+// reference); tau0 ≤ 0 falls back to cfg.MinPrecision. The mean slice is
+// copied.
+func NewInformative(mean []float64, tau0 float64, cfg Config) (*Informative, error) {
+	m := len(mean)
+	if m < 1 {
+		return nil, fmt.Errorf("core: informative prior needs a non-empty reference mean")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tau0 <= 0 {
+		tau0 = cfg.MinPrecision
+	}
+	p := &Informative{cfg: cfg, m: m, tau: tau0}
+	p.mean = append([]float64(nil), mean...)
+	p.b = cfg.Gamma * float64(m)
+	p.a = 1 + cfg.ARatio*p.b
+	p.sched = lazySchedule{
+		Warmup:          cfg.WarmupEpochs,
+		RegEvery:        cfg.RegInterval,
+		GMEvery:         cfg.GMInterval,
+		BatchesPerEpoch: cfg.BatchesPerEpoch,
+	}
+	p.greg = make([]float64, m)
+	return p, nil
+}
+
+// Name identifies the prior in reports.
+func (p *Informative) Name() string { return "Informative Reg" }
+
+// M returns the number of parameter dimensions this prior regularizes.
+func (p *Informative) M() int { return p.m }
+
+// Tau returns the learned precision of the pull toward the reference.
+func (p *Informative) Tau() float64 { return p.tau }
+
+// Mean returns a copy of the reference weights w⁰.
+func (p *Informative) Mean() []float64 { return append([]float64(nil), p.mean...) }
+
+// CalResidual runs the (degenerate) E-step: the residual sufficient
+// statistic Σ(w−w⁰)² the M-step needs.
+func (p *Informative) CalResidual(w []float64) {
+	p.checkDim(w)
+	p.timedEStep(func() {
+		var s float64
+		for m, wm := range w {
+			d := wm - p.mean[m]
+			s += d * d
+		}
+		p.sumSq = s
+	})
+}
+
+// CalcRegGrad caches the fold-in gradient τ·(w − w⁰).
+func (p *Informative) CalcRegGrad(w []float64) {
+	p.checkDim(w)
+	for m, wm := range w {
+		p.greg[m] = p.tau * (wm - p.mean[m])
+	}
+}
+
+// UptParam runs the closed-form M-step for τ under the Gamma(a, b)
+// hyper-prior: τ = (2(a−1) + M) / (2b + Σ(w−w⁰)²).
+func (p *Informative) UptParam() {
+	p.timedMStep(func() {
+		p.tau = (2*(p.a-1) + float64(p.m)) / (2*p.b + p.sumSq)
+	})
+}
+
+// Grad writes the regularization gradient for w into dst, advancing the
+// shared Algorithm 2 lazy-update schedule by one iteration.
+func (p *Informative) Grad(w, dst []float64) {
+	p.checkDim(w)
+	if len(dst) != p.m {
+		panic(fmt.Sprintf("core: dst has %d dims, want %d", len(dst), p.m))
+	}
+	lazyStep(p.sched, &p.cur,
+		func() { p.CalResidual(w) },
+		func() { p.CalcRegGrad(w) },
+		func() { copy(dst, p.greg) },
+		p.UptParam)
+}
+
+// Penalty returns the negative log prior density up to constants:
+// (τ/2)·Σ(w−w⁰)² − (M/2)·ln τ. Scratch-free and safe to call concurrently
+// with other Penalty calls.
+func (p *Informative) Penalty(w []float64) float64 {
+	p.checkDim(w)
+	var s float64
+	for m, wm := range w {
+		d := wm - p.mean[m]
+		s += d * d
+	}
+	return 0.5*p.tau*s - 0.5*float64(p.m)*math.Log(p.tau)
+}
+
+// HyperPenalty returns the negative log Gamma(a, b) density of the learned
+// precision, up to constants.
+func (p *Informative) HyperPenalty() float64 {
+	return -(p.a-1)*math.Log(p.tau) + p.b*p.tau
+}
+
+// SetBatchesPerEpoch implements Prior, keeping the snapshotted Config in
+// sync with the live schedule (like the GM) so a restore rebuilds the same
+// epoch cadence the running prior had.
+func (p *Informative) SetBatchesPerEpoch(b int) {
+	p.emBase.SetBatchesPerEpoch(b)
+	p.cfg.BatchesPerEpoch = p.sched.BatchesPerEpoch
+}
+
+// Family implements Prior.
+func (p *Informative) Family() string { return FamilyInformative }
+
+// Stateful implements Prior: the learned τ is checkpointed state (the mean
+// is too, so a resume needs no access to the original reference checkpoint).
+func (p *Informative) Stateful() bool { return true }
+
+// Mixture implements Prior: no mixing weights, one learned precision.
+func (p *Informative) Mixture() (pi, lambda []float64) {
+	return nil, []float64{p.tau}
+}
+
+// InformativeSnapshot is the serializable capture of an informative prior's
+// state. It includes the reference mean so restores are self-contained.
+type InformativeSnapshot struct {
+	M         int       `json:"m"`
+	Mean      []float64 `json:"mean"`
+	Tau       float64   `json:"tau"`
+	A         float64   `json:"a"`
+	B         float64   `json:"b"`
+	Iteration int       `json:"iteration"`
+	EpochIt   int       `json:"epoch_it"`
+	Config    Config    `json:"config"`
+	ESteps    int       `json:"e_steps,omitempty"`
+	MSteps    int       `json:"m_steps,omitempty"`
+	Greg      []float64 `json:"greg,omitempty"`
+}
+
+// PriorSnapshot implements Prior.
+func (p *Informative) PriorSnapshot() PriorSnapshot {
+	return PriorSnapshot{Family: FamilyInformative, Informative: &InformativeSnapshot{
+		M:         p.m,
+		Mean:      append([]float64(nil), p.mean...),
+		Tau:       p.tau,
+		A:         p.a,
+		B:         p.b,
+		Iteration: p.cur.It,
+		EpochIt:   p.cur.EpochIt,
+		Config:    p.cfg,
+		ESteps:    p.eSteps,
+		MSteps:    p.mSteps,
+		Greg:      append([]float64(nil), p.greg...),
+	}}
+}
+
+// FromInformativeSnapshot reconstructs an informative prior from a snapshot.
+func FromInformativeSnapshot(s InformativeSnapshot) (*Informative, error) {
+	if len(s.Mean) != s.M {
+		return nil, fmt.Errorf("core: informative snapshot mean has %d dims, want %d", len(s.Mean), s.M)
+	}
+	if s.Tau <= 0 {
+		return nil, fmt.Errorf("core: informative snapshot has τ=%v, want positive", s.Tau)
+	}
+	if s.Greg != nil && len(s.Greg) != s.M {
+		return nil, fmt.Errorf("core: informative snapshot cached gradient has %d dims, want %d", len(s.Greg), s.M)
+	}
+	p, err := NewInformative(s.Mean, s.Tau, s.Config)
+	if err != nil {
+		return nil, err
+	}
+	p.a, p.b = s.A, s.B
+	p.cur = lazyCursor{It: s.Iteration, EpochIt: s.EpochIt}
+	p.eSteps, p.mSteps = s.ESteps, s.MSteps
+	if s.Greg != nil {
+		copy(p.greg, s.Greg)
+	}
+	return p, nil
+}
+
+// RestorePrior implements Prior, rejecting snapshots of other families and
+// preserving installed hooks.
+func (p *Informative) RestorePrior(s PriorSnapshot) error {
+	if s.Family != FamilyInformative || s.Informative == nil {
+		return fmt.Errorf("core: restoring %q prior state into a %q prior", s.Family, FamilyInformative)
+	}
+	if s.Informative.M != p.m {
+		return fmt.Errorf("core: restoring snapshot of %d dims into prior built for %d", s.Informative.M, p.m)
+	}
+	restored, err := FromInformativeSnapshot(*s.Informative)
+	if err != nil {
+		return err
+	}
+	hooks := p.hooks
+	*p = *restored
+	p.hooks = hooks
+	return nil
+}
+
+func (p *Informative) checkDim(w []float64) {
+	if len(w) != p.m {
+		panic(fmt.Sprintf("core: parameter vector has %d dims, prior built for %d", len(w), p.m))
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+func testMean(m int, seed uint64) []float64 {
+	mean := make([]float64, m)
+	tensor.NewRNG(seed).FillNormal(mean, 0, 0.3)
+	return mean
+}
+
+// TestInformativeGradPullsTowardMean checks the defining behavior: the folded
+// gradient points from w toward the reference w⁰ with strength τ.
+func TestInformativeGradPullsTowardMean(t *testing.T) {
+	mean := testMean(12, 3)
+	p, err := NewInformative(mean, 2.5, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, 12) // all zero
+	p.CalResidual(w)
+	p.CalcRegGrad(w)
+	for m := range w {
+		want := 2.5 * (0 - mean[m])
+		if math.Abs(p.greg[m]-want) > 1e-12 {
+			t.Fatalf("greg[%d] = %v, want τ(w−w⁰) = %v", m, p.greg[m], want)
+		}
+	}
+	// At the reference itself the pull vanishes.
+	p.CalcRegGrad(mean)
+	for m := range mean {
+		if p.greg[m] != 0 {
+			t.Fatalf("gradient at the reference mean is %v, want 0", p.greg[m])
+		}
+	}
+}
+
+// TestInformativeGradMatchesNumericalGradient checks the fold-in against the
+// numeric gradient of Penalty.
+func TestInformativeGradMatchesNumericalGradient(t *testing.T) {
+	mean := testMean(6, 4)
+	p, err := NewInformative(mean, 1.7, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testMean(6, 5)
+	p.CalResidual(w)
+	p.CalcRegGrad(w)
+	const h = 1e-6
+	for m := range w {
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[m] += h
+		wm[m] -= h
+		num := (p.Penalty(wp) - p.Penalty(wm)) / (2 * h)
+		if math.Abs(p.greg[m]-num) > 1e-5 {
+			t.Errorf("greg[%d] = %v, numeric ∂Penalty = %v", m, p.greg[m], num)
+		}
+	}
+}
+
+// TestInformativeMStepMaximizesObjective checks the closed-form τ update is
+// the argmax of the penalized complete-data objective.
+func TestInformativeMStepMaximizesObjective(t *testing.T) {
+	mean := testMean(100, 6)
+	p, err := NewInformative(mean, 0, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testMean(100, 7)
+	p.CalResidual(w)
+	p.UptParam()
+	q := func(tau float64) float64 {
+		return 0.5*float64(p.m)*math.Log(tau) - tau/2*p.sumSq + (p.a-1)*math.Log(tau) - p.b*tau
+	}
+	checkArgmax(t, "informative", q, p.tau)
+}
+
+// TestInformativeTauAdapts checks the leash dynamic: a run sitting far from
+// the reference learns a weaker pull than one sitting on it.
+func TestInformativeTauAdapts(t *testing.T) {
+	mean := testMean(50, 8)
+	near, _ := NewInformative(mean, 0, testConfig())
+	far, _ := NewInformative(mean, 0, testConfig())
+	near.CalResidual(mean) // zero residual
+	near.UptParam()
+	wFar := make([]float64, 50)
+	for i, v := range mean {
+		wFar[i] = v + 3
+	}
+	far.CalResidual(wFar)
+	far.UptParam()
+	if far.Tau() >= near.Tau() {
+		t.Fatalf("τ(far)=%v >= τ(near)=%v: precision must drop as the residual grows", far.Tau(), near.Tau())
+	}
+}
+
+// TestInformativeSnapshotRoundTrip checks a restore is self-contained: the
+// reference mean travels in the snapshot, so restoring into a prior built
+// with a different mean still continues the original stream bit-identically.
+func TestInformativeSnapshotRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.WarmupEpochs = 1
+	cfg.BatchesPerEpoch = 3
+	mean := testMean(16, 9)
+	orig, err := NewInformative(mean, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testMean(16, 10)
+	dst := make([]float64, 16)
+	for i := 0; i < 7; i++ {
+		orig.Grad(w, dst)
+	}
+
+	snap := orig.PriorSnapshot()
+	if snap.Family != FamilyInformative || snap.Informative == nil {
+		t.Fatalf("snapshot family %q, Informative nil=%v", snap.Family, snap.Informative == nil)
+	}
+	restored, err := NewInformative(make([]float64, 16), 0, cfg) // wrong mean on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestorePrior(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Tau() != orig.Tau() {
+		t.Fatalf("restored τ %v, want %v", restored.Tau(), orig.Tau())
+	}
+	rm := restored.Mean()
+	for i, v := range mean {
+		if rm[i] != v {
+			t.Fatal("restored mean differs from the snapshot's")
+		}
+	}
+	d1 := make([]float64, 16)
+	d2 := make([]float64, 16)
+	for i := 0; i < 9; i++ {
+		orig.Grad(w, d1)
+		restored.Grad(w, d2)
+		for m := range d1 {
+			if d1[m] != d2[m] {
+				t.Fatalf("gradient diverged at continuation step %d dim %d", i, m)
+			}
+		}
+	}
+}
+
+// TestInformativeValidation covers the constructor and restore edges.
+func TestInformativeValidation(t *testing.T) {
+	if _, err := NewInformative(nil, 1, testConfig()); err == nil {
+		t.Error("NewInformative accepted an empty mean")
+	}
+	cfg := testConfig()
+	p, err := NewInformative(testMean(4, 1), -1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tau() != cfg.MinPrecision {
+		t.Errorf("τ₀ = %v, want MinPrecision fallback %v", p.Tau(), cfg.MinPrecision)
+	}
+	lap, _ := NewLaplace(4, testConfig())
+	if err := p.RestorePrior(lap.PriorSnapshot()); err == nil {
+		t.Error("informative accepted a laplace snapshot")
+	}
+	other, _ := NewInformative(testMean(8, 2), 1, testConfig())
+	if err := p.RestorePrior(other.PriorSnapshot()); err == nil {
+		t.Error("informative accepted a snapshot of different dimensionality")
+	}
+}
+
+// TestFixedPriorContract checks the degenerate fixed-prior adapter: stateless,
+// zero hyper-penalty, schedule counters at rest, and snapshot round-trips as
+// a family tag alone.
+func TestFixedPriorContract(t *testing.T) {
+	f := NewFixed(FamilyFixed, l2stub{})
+	if f.Stateful() {
+		t.Fatal("fixed prior reports stateful")
+	}
+	if f.HyperPenalty() != 0 {
+		t.Fatal("fixed prior has a hyper-penalty")
+	}
+	w := []float64{1, -2}
+	dst := make([]float64, 2)
+	f.Grad(w, dst)
+	if dst[0] != 1 || dst[1] != -2 {
+		t.Fatalf("fixed Grad = %v, want the wrapped regularizer's", dst)
+	}
+	if e, m := f.Steps(); e != 0 || m != 0 {
+		t.Fatal("fixed prior counts E/M steps")
+	}
+	if err := f.RestorePrior(f.PriorSnapshot()); err != nil {
+		t.Fatalf("fixed self-restore: %v", err)
+	}
+	gm := MustNewGM(2, testConfig())
+	if err := f.RestorePrior(gm.PriorSnapshot()); err == nil {
+		t.Fatal("fixed prior accepted a GM snapshot")
+	}
+}
+
+type l2stub struct{}
+
+func (l2stub) Name() string { return "stub" }
+func (l2stub) Grad(w, dst []float64) {
+	copy(dst, w)
+}
+func (l2stub) Penalty(w []float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += v * v / 2
+	}
+	return s
+}

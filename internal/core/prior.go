@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file extracts the EM prior interface from the GM-specific code paths.
+// The paper's Algorithm 2 is family-agnostic: an E-step computes per-weight
+// posterior expectations, a closed-form M-step updates the prior's
+// hyper-parameters, and the cached regularization gradient is folded into
+// the optimizer between refreshes. The zero-mean Gaussian mixture is one
+// family behind that loop; EP-GIG scale mixtures (Laplace, Student-t),
+// informative Gaussians centered on a reference model, and degenerate fixed
+// penalties (L1/L2/SLOPE/…) are others. Trainers, checkpointing, and
+// telemetry talk to the Prior interface only, so every family rides the
+// same fold-in, snapshot, and observability machinery.
+
+// Prior family identifiers, recorded in snapshots and telemetry so resumes
+// can reject cross-family restores.
+const (
+	// FamilyGM is the paper's adaptive zero-mean Gaussian mixture.
+	FamilyGM = "gm"
+	// FamilyLaplace is the EP-GIG Laplace scale mixture (exponential mixing
+	// density over the per-weight variance).
+	FamilyLaplace = "laplace"
+	// FamilyStudentT is the EP-GIG Student-t scale mixture (Gamma mixing
+	// density over the per-weight precision).
+	FamilyStudentT = "student-t"
+	// FamilySlope is the sorted-L1 (SLOPE) penalty, a stateless degenerate
+	// prior with rank-dependent Laplacian scales.
+	FamilySlope = "slope"
+	// FamilyInformative is a Gaussian prior centered on a reference model's
+	// weights with an EM-learned precision — the fine-tune-from-checkpoint
+	// prior.
+	FamilyInformative = "informative"
+	// FamilyFixed covers the classic stateless baselines (none/L1/L2/
+	// Elastic-net/Huber) expressed through the Prior interface.
+	FamilyFixed = "fixed"
+)
+
+// Prior is one parameter group's prior over weights, driven by the trainers
+// exactly like the original GM regularizer: one Grad call per global SGD
+// step (advancing the family's lazy E/M schedule), Penalty/HyperPenalty for
+// loss reporting, and snapshot/restore for crash-safe resume. It subsumes
+// reg.Regularizer (Name/Grad/Penalty), so every prior still plugs into a
+// reg.Factory unchanged.
+//
+// Priors are not safe for concurrent use except for Penalty, which eval
+// code may call concurrently with training and therefore must keep its
+// scratch local.
+type Prior interface {
+	// Name identifies the prior in reports, e.g. "GM Reg".
+	Name() string
+	// Grad writes the regularization gradient for w into dst, advancing the
+	// family's lazy-update schedule by one iteration.
+	Grad(w, dst []float64)
+	// Penalty returns the negative log prior density of w (up to constants).
+	Penalty(w []float64) float64
+
+	// Family returns the family identifier (FamilyGM, FamilyLaplace, …).
+	Family() string
+	// Stateful reports whether the prior learns state that must be
+	// checkpointed and emitted in telemetry. Degenerate fixed priors return
+	// false and are rebuilt from configuration on resume.
+	Stateful() bool
+	// HyperPenalty returns the negative log density the family's
+	// hyper-priors contribute (0 for fixed priors).
+	HyperPenalty() float64
+	// Steps reports how many full E-steps and M-steps have run.
+	Steps() (eSteps, mSteps int)
+	// Iterations counts Grad calls (Algorithm 2 loop passes).
+	Iterations() int
+	// SkipRatio is the fraction of iterations served by the cached gradient.
+	SkipRatio() float64
+	// Mixture summarizes the learned prior for telemetry and reports: the
+	// GM's (π, λ); a scale mixture's (nil, [rate]); nil for fixed priors.
+	// The slices are copies.
+	Mixture() (pi, lambda []float64)
+	// SetHooks installs (or removes, with nil) instrumentation callbacks.
+	SetHooks(*Hooks)
+	// SetBatchesPerEpoch wires B of Algorithm 2 (train.EpochAware).
+	SetBatchesPerEpoch(b int)
+	// PriorSnapshot captures the learned state with its family tag.
+	PriorSnapshot() PriorSnapshot
+	// RestorePrior overwrites the prior's state from a snapshot of the same
+	// family, preserving installed hooks.
+	RestorePrior(PriorSnapshot) error
+}
+
+// PriorSnapshot is the family-tagged serializable capture of a Prior — a
+// small tagged union so checkpoints can carry any family while the default
+// GM family keeps its legacy Snapshot encoding bit for bit.
+type PriorSnapshot struct {
+	// Family discriminates the payload.
+	Family string `json:"family"`
+	// GM is the zero-mean Gaussian-mixture state (Family == FamilyGM).
+	GM *Snapshot `json:"gm,omitempty"`
+	// GIG is the EP-GIG scale-mixture state (FamilyLaplace/FamilyStudentT).
+	GIG *GIGSnapshot `json:"gig,omitempty"`
+	// Informative is the reference-centered Gaussian state.
+	Informative *InformativeSnapshot `json:"informative,omitempty"`
+}
+
+// lazySchedule is Algorithm 2's cadence, extracted so every EM family runs
+// the identical lazy-update loop the GM was built with.
+type lazySchedule struct {
+	Warmup          int // E: full E/M every iteration for this many epochs
+	RegEvery        int // Im: greg refresh interval after warm-up
+	GMEvery         int // Ig: hyper-parameter update interval after warm-up
+	BatchesPerEpoch int // B: iterations per epoch
+}
+
+// lazyCursor is the schedule position (Grad calls and completed epochs).
+type lazyCursor struct {
+	It      int
+	EpochIt int
+}
+
+// lazyStep runs one pass of Algorithm 2's loop body: refresh the E-step and
+// cached gradient on the Im boundary (or during warm-up), fold the cached
+// gradient, and run the M-step on the Ig boundary — refreshing the E-step
+// first when the two boundaries do not coincide, so the M-step always sees
+// expectations for the current weights. This is the exact control flow the
+// pre-refactor GM.Grad used; the GM and every new family call it.
+func lazyStep(s lazySchedule, cur *lazyCursor, estep, regGrad, fold, mstep func()) {
+	warm := cur.EpochIt < s.Warmup
+	regNow := warm || cur.It%s.RegEvery == 0
+	if regNow {
+		estep()
+		regGrad()
+	}
+	fold()
+	if warm || cur.It%s.GMEvery == 0 {
+		if !regNow {
+			estep()
+		}
+		mstep()
+	}
+	cur.It++
+	b := s.BatchesPerEpoch
+	if b < 1 {
+		b = 1
+	}
+	if cur.It%b == 0 {
+		cur.EpochIt++
+	}
+}
+
+// skipRatio converts (iterations, eSteps) into the cached-gradient reuse
+// fraction, clamped to [0, 1].
+func skipRatio(it, eSteps int) float64 {
+	if it == 0 {
+		return 0
+	}
+	r := 1 - float64(eSteps)/float64(it)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// emBase carries the lazy-update machinery shared by every EM prior family
+// other than the GM (which keeps its original field layout for snapshot
+// compatibility): the Algorithm 2 schedule and cursor, the step counters,
+// the cached regularization gradient, and the instrumentation hooks.
+type emBase struct {
+	sched  lazySchedule
+	cur    lazyCursor
+	eSteps int
+	mSteps int
+	greg   []float64
+	hooks  *Hooks
+}
+
+// Steps implements Prior.
+func (e *emBase) Steps() (eSteps, mSteps int) { return e.eSteps, e.mSteps }
+
+// Iterations implements Prior.
+func (e *emBase) Iterations() int { return e.cur.It }
+
+// SkipRatio implements Prior.
+func (e *emBase) SkipRatio() float64 { return skipRatio(e.cur.It, e.eSteps) }
+
+// SetHooks implements Prior.
+func (e *emBase) SetHooks(h *Hooks) { e.hooks = h }
+
+// SetBatchesPerEpoch implements Prior.
+func (e *emBase) SetBatchesPerEpoch(b int) {
+	if b < 1 {
+		b = 1
+	}
+	e.sched.BatchesPerEpoch = b
+}
+
+// timedEStep runs f as a counted, hook-observed E-step.
+func (e *emBase) timedEStep(f func()) {
+	var t0 time.Time
+	if e.hooks != nil && e.hooks.EStep != nil {
+		t0 = time.Now()
+	}
+	f()
+	e.eSteps++
+	if e.hooks != nil && e.hooks.EStep != nil {
+		e.hooks.EStep(time.Since(t0))
+	}
+}
+
+// timedMStep runs f as a counted, hook-observed M-step.
+func (e *emBase) timedMStep(f func()) {
+	var t0 time.Time
+	if e.hooks != nil && e.hooks.MStep != nil {
+		t0 = time.Now()
+	}
+	f()
+	e.mSteps++
+	if e.hooks != nil && e.hooks.MStep != nil {
+		e.hooks.MStep(time.Since(t0))
+	}
+}
+
+// PenaltyGrad is the stateless-penalty surface a degenerate prior wraps.
+// reg.Regularizer satisfies it structurally, so the fixed baselines plug in
+// without core importing the reg package.
+type PenaltyGrad interface {
+	Name() string
+	Grad(w, dst []float64)
+	Penalty(w []float64) float64
+}
+
+// Fixed adapts a stateless penalty to the Prior interface: no E/M steps, no
+// learned state, nothing to checkpoint. It is the degenerate-prior view of
+// the paper's fixed baselines (and of SLOPE), letting one trainer/telemetry/
+// checkpoint surface treat fixed and adaptive regularization uniformly. A
+// single Fixed may be shared across parameter groups.
+type Fixed struct {
+	r      PenaltyGrad
+	family string
+}
+
+// NewFixed wraps a stateless penalty as a degenerate prior. An empty family
+// defaults to FamilyFixed.
+func NewFixed(family string, r PenaltyGrad) *Fixed {
+	if family == "" {
+		family = FamilyFixed
+	}
+	return &Fixed{r: r, family: family}
+}
+
+// Name implements Prior (delegating to the wrapped penalty, so reports keep
+// the legacy method names: "L1 Reg", "no regularization", …).
+func (f *Fixed) Name() string { return f.r.Name() }
+
+// Grad implements Prior.
+func (f *Fixed) Grad(w, dst []float64) { f.r.Grad(w, dst) }
+
+// Penalty implements Prior.
+func (f *Fixed) Penalty(w []float64) float64 { return f.r.Penalty(w) }
+
+// Family implements Prior.
+func (f *Fixed) Family() string { return f.family }
+
+// Stateful implements Prior: fixed priors have no learned state.
+func (f *Fixed) Stateful() bool { return false }
+
+// HyperPenalty implements Prior.
+func (f *Fixed) HyperPenalty() float64 { return 0 }
+
+// Steps implements Prior.
+func (f *Fixed) Steps() (int, int) { return 0, 0 }
+
+// Iterations implements Prior.
+func (f *Fixed) Iterations() int { return 0 }
+
+// SkipRatio implements Prior.
+func (f *Fixed) SkipRatio() float64 { return 0 }
+
+// Mixture implements Prior.
+func (f *Fixed) Mixture() (pi, lambda []float64) { return nil, nil }
+
+// SetHooks implements Prior (fixed priors never merge or run E/M steps).
+func (f *Fixed) SetHooks(*Hooks) {}
+
+// SetBatchesPerEpoch implements Prior.
+func (f *Fixed) SetBatchesPerEpoch(int) {}
+
+// PriorSnapshot implements Prior: only the family tag, used by resume to
+// reject cross-family restores.
+func (f *Fixed) PriorSnapshot() PriorSnapshot { return PriorSnapshot{Family: f.family} }
+
+// RestorePrior implements Prior: nothing to restore, but the family must
+// match.
+func (f *Fixed) RestorePrior(s PriorSnapshot) error {
+	if s.Family != f.family {
+		return fmt.Errorf("core: restoring %q prior state into a %q prior", s.Family, f.family)
+	}
+	return nil
+}

@@ -66,6 +66,10 @@ func (Epoch) Kind() string { return "epoch" }
 type GMState struct {
 	// Group names the parameter group (e.g. "conv1/weight").
 	Group string `json:"group"`
+	// Family tags non-default prior families ("laplace", "student-t",
+	// "informative"); absent for the default GM so its event stream is
+	// byte-identical to pre-Prior-interface runs.
+	Family string `json:"family,omitempty"`
 	// Epoch is the 0-based epoch index the snapshot was taken after.
 	Epoch int `json:"epoch"`
 	// K is the current component count (after merging).

@@ -1,0 +1,109 @@
+package reg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSLOPEWeightSequence(t *testing.T) {
+	r := SLOPE{Beta: 2, MinRatio: 0.5}
+	const m = 5
+	prev := math.Inf(1)
+	for rank := 0; rank < m; rank++ {
+		lam := r.weight(rank, m)
+		if lam > prev {
+			t.Fatalf("weights not decreasing: λ_%d = %v > λ_%d = %v", rank, lam, rank-1, prev)
+		}
+		prev = lam
+	}
+	if r.weight(0, m) != 2 {
+		t.Errorf("top weight = %v, want Beta", r.weight(0, m))
+	}
+	if got := r.weight(m-1, m); got != 1 {
+		t.Errorf("bottom weight = %v, want Beta·MinRatio = 1", got)
+	}
+	if r.weight(0, 1) != 2 {
+		t.Errorf("single-dim weight = %v, want Beta", r.weight(0, 1))
+	}
+}
+
+// TestSLOPEPenaltyRanksMagnitudes checks the defining property: the largest
+// magnitude pays the largest weight, so the penalty exceeds the uniform-L1
+// value at the mean weight when magnitudes differ.
+func TestSLOPEPenaltyRanksMagnitudes(t *testing.T) {
+	r := SLOPE{Beta: 1, MinRatio: 0}
+	// |w| sorted: 3, 2, 1 → ranks get weights 1, 0.5, 0.
+	w := []float64{2, -3, 1}
+	want := 1*3.0 + 0.5*2.0 + 0*1.0
+	if got := r.Penalty(w); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Penalty = %v, want %v", got, want)
+	}
+	// Permuting w must not change the penalty.
+	if got := r.Penalty([]float64{-3, 1, 2}); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Penalty is not permutation-invariant: %v vs %v", got, want)
+	}
+}
+
+// TestSLOPEGradMatchesNumericalGradient verifies the subgradient at points
+// with distinct nonzero magnitudes, where the penalty is differentiable.
+func TestSLOPEGradMatchesNumericalGradient(t *testing.T) {
+	r := SLOPE{Beta: 0.7, MinRatio: 0.2}
+	w := []float64{0.9, -0.4, 1.6, -0.1, 0.25}
+	dst := make([]float64, len(w))
+	r.Grad(w, dst)
+	const h = 1e-7
+	for i := range w {
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[i] += h
+		wm[i] -= h
+		num := (r.Penalty(wp) - r.Penalty(wm)) / (2 * h)
+		if math.Abs(dst[i]-num) > 1e-5 {
+			t.Errorf("dst[%d] = %v, numeric ∂Penalty = %v", i, dst[i], num)
+		}
+	}
+}
+
+// TestSLOPEGradTieBreak pins the deterministic index tie-break: equal
+// magnitudes take adjacent ranks in index order.
+func TestSLOPEGradTieBreak(t *testing.T) {
+	r := SLOPE{Beta: 1, MinRatio: 0}
+	w := []float64{0.5, 0.5, 0.5}
+	dst := make([]float64, 3)
+	r.Grad(w, dst)
+	// Ranks 0,1,2 → weights 1, 0.5, 0, assigned in index order.
+	want := []float64{1, 0.5, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+	// Zero weights take zero subgradient regardless of rank weight.
+	r.Grad([]float64{0, 0}, dst[:2])
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("subgradient at 0 = %v, want 0", dst[:2])
+	}
+}
+
+// TestSLOPEConcurrentCalls guards the scratch locality contract: Grad and
+// Penalty allocate per call, so concurrent use must be race-free. Run under
+// -race.
+func TestSLOPEConcurrentCalls(t *testing.T) {
+	r := SLOPE{Beta: 1, MinRatio: 0.1}
+	w := []float64{0.3, -0.8, 0.2, 1.1, -0.05, 0.6, 0.9, -1.4}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		dst := make([]float64, len(w))
+		for i := 0; i < 200; i++ {
+			r.Grad(w, dst)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if math.IsNaN(r.Penalty(w)) {
+			t.Error("Penalty returned NaN")
+			break
+		}
+	}
+	<-done
+}

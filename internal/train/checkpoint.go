@@ -50,7 +50,11 @@ import (
 // checkpoint files for equal logical state, breaking the cross-process
 // byte-comparison contract above.
 func init() {
+	// Order matters: State first, so its type-id assignment (and therefore
+	// the bytes of v1 checkpoint files) is exactly what it was before the
+	// v2 framing existed; the stateV2 tree extends the registry after it.
 	gob.NewEncoder(io.Discard).Encode(&State{})
+	gob.NewEncoder(io.Discard).Encode(&stateV2{})
 }
 
 // ErrFaultInjected is returned by trainers when CheckpointPolicy.DieAtEpoch
@@ -78,11 +82,21 @@ type StatState struct {
 	Var  []float64
 }
 
-// RegState is one adaptive regularizer's full learned state. Fixed
-// baselines (L1/L2/…) are stateless and have no entry.
+// RegState is one adaptive GM regularizer's full learned state. Fixed
+// baselines (L1/L2/…) are stateless and have no entry; non-GM adaptive
+// prior families are carried separately as PriorState in the v2 framing,
+// which keeps default-GM checkpoint files byte-identical to the original
+// format.
 type RegState struct {
 	Name string
 	GM   core.Snapshot
+}
+
+// PriorState is one non-GM adaptive prior's learned state, tagged with its
+// family so resume can reject cross-family restores with a clear error.
+type PriorState struct {
+	Name string
+	Snap core.PriorSnapshot
 }
 
 // BBState is the Barzilai–Borwein schedule's cross-epoch state (LogReg only).
@@ -141,12 +155,56 @@ type State struct {
 	// times are not checkpointed; a resumed History reports zero durations
 	// for pre-resume epochs).
 	EpochLoss []float64
+
+	// priors carries the learned state of non-GM adaptive prior families.
+	// It is deliberately unexported: gob never sees it, so a run whose
+	// priors are all GM (or stateless) encodes the exact State payload —
+	// and therefore the exact checkpoint bytes — the original format
+	// produced. Runs with non-GM adaptive state are written in the v2
+	// framing, which wraps State and this slice together.
+	priors []PriorState
+}
+
+// Priors returns the non-GM adaptive prior states carried by a v2
+// checkpoint (nil for default-GM and stateless runs).
+func (s *State) Priors() []PriorState { return s.priors }
+
+// SetPriors attaches non-GM adaptive prior state, switching the checkpoint
+// to the v2 framing. Used by trainers at capture time.
+func (s *State) SetPriors(p []PriorState) { s.priors = p }
+
+// PriorFamily reports which prior family the checkpoint's adaptive state
+// belongs to: "gm" for legacy/GM checkpoints, the family tag for v2
+// checkpoints, and "" when the run carried no adaptive state at all (fixed
+// baselines and stateless degenerate priors like SLOPE).
+func (s *State) PriorFamily() string {
+	if len(s.priors) > 0 {
+		return s.priors[0].Snap.Family
+	}
+	if len(s.Regs) > 0 {
+		return core.FamilyGM
+	}
+	return ""
 }
 
 // ckptMagic leads every checkpoint file, followed by the SHA-256 of the gob
 // payload — a truncated or half-written file fails the hash check and is
 // rejected by LoadState instead of being resumed.
 const ckptMagic = "gmregckpt1\n"
+
+// ckptMagic2 leads checkpoints that carry non-GM adaptive prior state
+// (stateV2 payload). Default-GM runs keep the v1 framing so their files
+// stay byte-identical to pre-Prior-interface checkpoints.
+const ckptMagic2 = "gmregckpt2\n"
+
+// stateV2 is the v2 checkpoint payload: the unchanged v1 State plus the
+// family-tagged prior states. Kept as a wrapper (not new State fields)
+// because gob type descriptors embed every exported field name — any new
+// field in State would change the bytes of v1 files.
+type stateV2 struct {
+	Base   State
+	Priors []PriorState
+}
 
 // CkptSuffix is the checkpoint file extension.
 const CkptSuffix = ".gmckpt"
@@ -161,14 +219,20 @@ func CheckpointName(epoch int) string {
 // WriteFile serializes the state to path atomically (temp file + rename via
 // the store's snapshot path) and returns the file size.
 func (s *State) WriteFile(path string) (int64, error) {
+	magic := ckptMagic
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
+	if len(s.priors) > 0 {
+		magic = ckptMagic2
+		if err := gob.NewEncoder(&payload).Encode(&stateV2{Base: *s, Priors: s.priors}); err != nil {
+			return 0, fmt.Errorf("train: encoding checkpoint: %w", err)
+		}
+	} else if err := gob.NewEncoder(&payload).Encode(s); err != nil {
 		return 0, fmt.Errorf("train: encoding checkpoint: %w", err)
 	}
 	sum := sha256.Sum256(payload.Bytes())
-	n := int64(len(ckptMagic) + len(sum) + payload.Len())
+	n := int64(len(magic) + len(sum) + payload.Len())
 	err := store.WriteFileAtomic(path, func(w io.Writer) error {
-		if _, err := io.WriteString(w, ckptMagic); err != nil {
+		if _, err := io.WriteString(w, magic); err != nil {
 			return err
 		}
 		if _, err := w.Write(sum[:]); err != nil {
@@ -190,7 +254,13 @@ func LoadState(path string) (*State, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < len(ckptMagic)+sha256.Size || string(raw[:len(ckptMagic)]) != ckptMagic {
+	// Both magics are the same length, so the framing is checked uniformly.
+	v2 := false
+	switch {
+	case len(raw) >= len(ckptMagic)+sha256.Size && string(raw[:len(ckptMagic)]) == ckptMagic:
+	case len(raw) >= len(ckptMagic2)+sha256.Size && string(raw[:len(ckptMagic2)]) == ckptMagic2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("train: %s is not a gmreg checkpoint", path)
 	}
 	var sum [sha256.Size]byte
@@ -198,6 +268,15 @@ func LoadState(path string) (*State, error) {
 	payload := raw[len(ckptMagic)+sha256.Size:]
 	if sha256.Sum256(payload) != sum {
 		return nil, fmt.Errorf("train: checkpoint %s fails its integrity hash (truncated or corrupt write)", path)
+	}
+	if v2 {
+		var v stateV2
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&v); err != nil {
+			return nil, fmt.Errorf("train: decoding checkpoint %s: %w", path, err)
+		}
+		st := v.Base
+		st.priors = v.Priors
+		return &st, nil
 	}
 	var st State
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
@@ -430,25 +509,34 @@ func CaptureNetwork(cfg SGDConfig, shardSize int, net *nn.Network, opt *Optimize
 		m, v := b.Stats()
 		st.Stats = append(st.Stats, StatState{Name: b.Name(), Mean: f64s(m), Var: f64s(v)})
 	}
-	st.Regs = captureRegs(opt.Regs)
+	st.Regs, st.priors = captureRegs(opt.Regs)
 	return st
 }
 
-// captureRegs snapshots every adaptive (GM) regularizer in sorted group
-// order, so serialization order is independent of map iteration.
-func captureRegs(regs map[string]reg.Regularizer) []RegState {
+// captureRegs snapshots every adaptive regularizer in sorted group order,
+// so serialization order is independent of map iteration. GMs go into the
+// legacy RegState list (v1 framing, byte-identical files); other stateful
+// prior families into the family-tagged PriorState list (v2 framing);
+// stateless priors and fixed baselines have no entry, as before.
+func captureRegs(regs map[string]reg.Regularizer) ([]RegState, []PriorState) {
 	names := make([]string, 0, len(regs))
 	for name := range regs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	var out []RegState
+	var priors []PriorState
 	for _, name := range names {
-		if g, ok := regs[name].(*core.GM); ok {
-			out = append(out, RegState{Name: name, GM: g.Snapshot()})
+		switch r := regs[name].(type) {
+		case *core.GM:
+			out = append(out, RegState{Name: name, GM: r.Snapshot()})
+		case core.Prior:
+			if r.Stateful() {
+				priors = append(priors, PriorState{Name: name, Snap: r.PriorSnapshot()})
+			}
 		}
 	}
-	return out
+	return out, priors
 }
 
 // RestoreNetwork loads a KindNetwork state into a freshly built trainer:
@@ -488,7 +576,7 @@ func RestoreNetwork(st *State, cfg SGDConfig, shardSize int, net *nn.Network, op
 		copy(m, s.Mean)
 		copy(v, s.Var)
 	}
-	if err := restoreRegs(st.Regs, opt.Regs); err != nil {
+	if err := restoreRegs(st, opt.Regs); err != nil {
 		return err
 	}
 	restoreHistory(hist, st)
@@ -496,22 +584,33 @@ func RestoreNetwork(st *State, cfg SGDConfig, shardSize int, net *nn.Network, op
 	return nil
 }
 
-// restoreRegs loads GM snapshots back into the trainer's regularizers,
-// requiring an exact match between the checkpoint's adaptive groups and the
-// factory's — resuming a GM run under a fixed baseline (or vice versa) is a
-// configuration error, not a silent fallback.
-func restoreRegs(states []RegState, regs map[string]reg.Regularizer) error {
-	var gms int
+// restoreRegs loads adaptive prior snapshots back into the trainer's
+// regularizers, requiring an exact match between the checkpoint's adaptive
+// groups (and their families) and the factory's — resuming a GM run under a
+// fixed baseline, or a Laplace checkpoint under a Student-t run, is a
+// configuration error with a one-line explanation, not a silent fallback.
+func restoreRegs(st *State, regs map[string]reg.Regularizer) error {
+	var gms, others int
 	for _, r := range regs {
-		if _, ok := r.(*core.GM); ok {
+		switch p := r.(type) {
+		case *core.GM:
 			gms++
+		case core.Prior:
+			if p.Stateful() {
+				others++
+			}
 		}
 	}
-	if gms != len(states) {
-		return fmt.Errorf("train: checkpoint has %d adaptive regularizers, run has %d — resume with the regularizer the checkpoint was trained with",
-			len(states), gms)
+	ckptFam, runFam := st.PriorFamily(), runPriorFamily(regs)
+	if ckptFam != runFam {
+		return fmt.Errorf("train: checkpoint was trained with prior family %q but this run uses %q — resume with the prior the checkpoint was trained with",
+			familyLabel(ckptFam), familyLabel(runFam))
 	}
-	for _, s := range states {
+	if gms != len(st.Regs) || others != len(st.priors) {
+		return fmt.Errorf("train: checkpoint has %d adaptive regularizers, run has %d — resume with the regularizer the checkpoint was trained with",
+			len(st.Regs)+len(st.priors), gms+others)
+	}
+	for _, s := range st.Regs {
 		g, ok := regs[s.Name].(*core.GM)
 		if !ok {
 			return fmt.Errorf("train: checkpoint has GM state for group %q but the run's regularizer there is not a GM", s.Name)
@@ -520,7 +619,38 @@ func restoreRegs(states []RegState, regs map[string]reg.Regularizer) error {
 			return fmt.Errorf("train: restoring GM for group %q: %w", s.Name, err)
 		}
 	}
+	for _, s := range st.priors {
+		p, ok := regs[s.Name].(core.Prior)
+		if !ok || !p.Stateful() {
+			return fmt.Errorf("train: checkpoint has %s prior state for group %q but the run's regularizer there is stateless", s.Snap.Family, s.Name)
+		}
+		if err := p.RestorePrior(s.Snap); err != nil {
+			return fmt.Errorf("train: restoring prior for group %q: %w", s.Name, err)
+		}
+	}
 	return nil
+}
+
+// runPriorFamily reports the family of a run's stateful priors ("" when all
+// priors are stateless), mirroring State.PriorFamily for the live side of a
+// resume. Factories build one family per run, so the first stateful prior
+// decides.
+func runPriorFamily(regs map[string]reg.Regularizer) string {
+	for _, r := range regs {
+		if p, ok := r.(core.Prior); ok && p.Stateful() {
+			return p.Family()
+		}
+	}
+	return ""
+}
+
+// familyLabel renders "" (no adaptive state: fixed baselines, SLOPE) as a
+// readable word in resume errors.
+func familyLabel(f string) string {
+	if f == "" {
+		return "fixed"
+	}
+	return f
 }
 
 // restoreHistory seeds a History with the checkpointed losses; wall-clock
@@ -536,7 +666,8 @@ func restoreHistory(hist *History, st *State) {
 // regularizer, and the loss history.
 func captureLogReg(cfg SGDConfig, model *models.LogisticRegression, r reg.Regularizer,
 	vel []float64, velB float64, rng *tensor.RNG, rows []int, bb *BBState, hist *History) *State {
-	return &State{
+	regStates, priorStates := captureRegs(map[string]reg.Regularizer{"weights": r})
+	st := &State{
 		Kind:            KindLogReg,
 		Seed:            cfg.Seed,
 		Epochs:          cfg.Epochs,
@@ -547,7 +678,7 @@ func captureLogReg(cfg SGDConfig, model *models.LogisticRegression, r reg.Regula
 		LRDecayFactor:   cfg.LRDecayFactor,
 		BarzilaiBorwein: cfg.BarzilaiBorwein,
 		Groups:          []GroupState{{Name: "weights", W: f64s(model.W), Vel: f64s(vel)}},
-		Regs:            captureRegs(map[string]reg.Regularizer{"weights": r}),
+		Regs:            regStates,
 		Bias:            model.B,
 		BiasVel:         velB,
 		Rows:            append([]int(nil), rows...),
@@ -555,6 +686,8 @@ func captureLogReg(cfg SGDConfig, model *models.LogisticRegression, r reg.Regula
 		BB:              bb,
 		EpochLoss:       f64s(hist.EpochLoss),
 	}
+	st.priors = priorStates
+	return st
 }
 
 // restoreLogReg loads a KindLogReg state back into a freshly initialized
@@ -582,7 +715,7 @@ func restoreLogReg(st *State, cfg SGDConfig, model *models.LogisticRegression, r
 	*velB = st.BiasVel
 	copy(rows, st.Rows)
 	rng.SetState(st.RNG)
-	if err := restoreRegs(st.Regs, map[string]reg.Regularizer{"weights": r}); err != nil {
+	if err := restoreRegs(st, map[string]reg.Regularizer{"weights": r}); err != nil {
 		return err
 	}
 	restoreHistory(hist, st)

@@ -1,0 +1,241 @@
+package train_test
+
+// Crash/resume contract for the non-GM prior families (DESIGN.md §15): a run
+// killed mid-training and resumed from its latest checkpoint must match the
+// uninterrupted run bit for bit, with the prior's learned state (EP-GIG rate,
+// informative τ and mean) carried through the v2 checkpoint framing. Resume
+// across prior families must be refused with a clear error, and runs without
+// adaptive state (fixed baselines, SLOPE) must keep writing v1-framed files
+// so pre-existing tooling and byte-level baselines stay valid.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"gmreg"
+	"gmreg/internal/data"
+	"gmreg/internal/train"
+)
+
+func priorTask(t *testing.T) (*data.Task, []int) {
+	t.Helper()
+	task := data.GenerateHospFA(data.DefaultHospFA(), 5)
+	rows := make([]int, task.NumSamples())
+	for i := range rows {
+		rows[i] = i
+	}
+	return task, rows
+}
+
+func priorCfg() train.SGDConfig {
+	return train.SGDConfig{
+		LearningRate: 0.5,
+		Momentum:     0.9,
+		Epochs:       10,
+		BatchSize:    32,
+		Seed:         11,
+	}
+}
+
+// priorFactories enumerates one factory per stateful non-GM family; m is the
+// task's feature count (the informative reference mean must match it).
+func priorFactories(m int) map[string]gmreg.Factory {
+	mean := make([]float64, m)
+	for i := range mean {
+		mean[i] = 0.01 * float64(i%7)
+	}
+	return map[string]gmreg.Factory{
+		"laplace":     gmreg.New(gmreg.WithPrior(gmreg.LaplacePrior())),
+		"student-t":   gmreg.New(gmreg.WithPrior(gmreg.StudentTPrior(1))),
+		"informative": gmreg.New(gmreg.WithPrior(gmreg.InformativePrior(0, mean))),
+	}
+}
+
+func TestPriorFaultInjectResume(t *testing.T) {
+	task, rows := priorTask(t)
+	for name, factory := range priorFactories(task.NumFeatures()) {
+		t.Run(name, func(t *testing.T) {
+			cfg := priorCfg()
+
+			baseDir := t.TempDir()
+			baseCfg := cfg
+			baseCfg.Ckpt = &train.CheckpointPolicy{Every: 3, Dir: baseDir}
+			baseRes, err := train.LogReg(task, rows, baseCfg, factory)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			baseCkpt := finalCkptBytes(t, baseDir, cfg.Epochs)
+
+			dir := t.TempDir()
+			killCfg := cfg
+			killCfg.Ckpt = &train.CheckpointPolicy{Every: 3, Dir: dir, DieAtEpoch: 4}
+			if _, err := train.LogReg(task, rows, killCfg, factory); !errors.Is(err, train.ErrFaultInjected) {
+				t.Fatalf("want ErrFaultInjected, got %v", err)
+			}
+
+			resCfg := cfg
+			resCfg.Ckpt = resumePolicy(t, dir)
+			resCfg.Ckpt.Every = 3
+			res, err := train.LogReg(task, rows, resCfg, factory)
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			for i, w := range res.Model.W {
+				if w != baseRes.Model.W[i] {
+					t.Fatalf("weight %d differs after resume: %v vs %v", i, w, baseRes.Model.W[i])
+				}
+			}
+			if !bytes.Equal(finalCkptBytes(t, dir, cfg.Epochs), baseCkpt) {
+				t.Fatalf("final checkpoint bytes differ from baseline")
+			}
+		})
+	}
+}
+
+// TestPriorCheckpointFraming pins the framing split: stateful non-GM runs
+// write v2-framed files carrying the prior snapshot, while the default GM
+// keeps the v1 frame (its byte-level oracle lives in golden_test.go) and so
+// do runs with no adaptive state at all.
+func TestPriorCheckpointFraming(t *testing.T) {
+	task, rows := priorTask(t)
+	write := func(factory gmreg.Factory) string {
+		t.Helper()
+		dir := t.TempDir()
+		cfg := priorCfg()
+		cfg.Epochs = 4
+		cfg.Ckpt = &train.CheckpointPolicy{Every: 2, Dir: dir}
+		if _, err := train.LogReg(task, rows, cfg, factory); err != nil {
+			t.Fatal(err)
+		}
+		path, err := train.LatestCheckpoint(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	magic := func(path string) string {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := bytes.IndexByte(raw, '\n')
+		if i < 0 {
+			t.Fatalf("%s: no magic line", path)
+		}
+		return string(raw[:i+1])
+	}
+
+	lapPath := write(gmreg.New(gmreg.WithPrior(gmreg.LaplacePrior())))
+	if m := magic(lapPath); m != "gmregckpt2\n" {
+		t.Errorf("laplace checkpoint magic %q, want v2", m)
+	}
+	st, err := train.LoadState(lapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PriorFamily() != "laplace" {
+		t.Errorf("laplace checkpoint PriorFamily = %q", st.PriorFamily())
+	}
+	ps := st.Priors()
+	if len(ps) != 1 || ps[0].Snap.GIG == nil || ps[0].Snap.GIG.Rate <= 0 {
+		t.Errorf("laplace checkpoint priors = %+v, want one GIG snapshot with a learned rate", ps)
+	}
+
+	gmPath := write(gmreg.New())
+	if m := magic(gmPath); m != "gmregckpt1\n" {
+		t.Errorf("GM checkpoint magic %q, want v1", m)
+	}
+	gmSt, err := train.LoadState(gmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmSt.PriorFamily() != "gm" {
+		t.Errorf("GM checkpoint PriorFamily = %q", gmSt.PriorFamily())
+	}
+
+	slopePath := write(gmreg.Slope(0.01, 0.1))
+	if m := magic(slopePath); m != "gmregckpt1\n" {
+		t.Errorf("SLOPE checkpoint magic %q, want v1 (stateless prior)", m)
+	}
+	slSt, err := train.LoadState(slopePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slSt.PriorFamily() != "" {
+		t.Errorf("SLOPE checkpoint PriorFamily = %q, want \"\"", slSt.PriorFamily())
+	}
+}
+
+// TestPriorFamilyMismatchRefused checks every cross-family resume direction
+// fails with the one-line diagnostic instead of corrupting the run.
+func TestPriorFamilyMismatchRefused(t *testing.T) {
+	task, rows := priorTask(t)
+	dir := t.TempDir()
+	cfg := priorCfg()
+	cfg.Ckpt = &train.CheckpointPolicy{Every: 3, Dir: dir, DieAtEpoch: 4}
+	if _, err := train.LogReg(task, rows, cfg, gmreg.New(gmreg.WithPrior(gmreg.LaplacePrior()))); !errors.Is(err, train.ErrFaultInjected) {
+		t.Fatalf("want ErrFaultInjected, got %v", err)
+	}
+
+	cases := map[string]gmreg.Factory{
+		"gm":        gmreg.New(),
+		"student-t": gmreg.New(gmreg.WithPrior(gmreg.StudentTPrior(1))),
+		"fixed":     gmreg.L2(0.1),
+	}
+	for name, factory := range cases {
+		t.Run("laplace-into-"+name, func(t *testing.T) {
+			resCfg := priorCfg()
+			resCfg.Ckpt = resumePolicy(t, dir)
+			_, err := train.LogReg(task, rows, resCfg, factory)
+			if err == nil {
+				t.Fatal("cross-family resume succeeded")
+			}
+			if !strings.Contains(err.Error(), "prior family") {
+				t.Fatalf("error does not name the family mismatch: %v", err)
+			}
+		})
+	}
+}
+
+// TestPriorStateSurvivesStateRoundTrip exercises WriteFile/LoadState directly
+// on a state carrying prior snapshots, independent of the trainers.
+func TestPriorStateSurvivesStateRoundTrip(t *testing.T) {
+	task, rows := priorTask(t)
+	dir := t.TempDir()
+	cfg := priorCfg()
+	cfg.Epochs = 4
+	cfg.Ckpt = &train.CheckpointPolicy{Every: 2, Dir: dir}
+	if _, err := train.LogReg(task, rows, cfg, gmreg.New(gmreg.WithPrior(gmreg.StudentTPrior(1)))); err != nil {
+		t.Fatal(err)
+	}
+	path, err := train.LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := train.LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPath := fmt.Sprintf("%s/copy.gmckpt", t.TempDir())
+	if _, err := st.WriteFile(copyPath); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := train.LoadState(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.PriorFamily() != "student-t" {
+		t.Fatalf("rewritten state PriorFamily = %q", st2.PriorFamily())
+	}
+	a, b := st.Priors(), st2.Priors()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("prior state lost in round trip: %d vs %d entries", len(a), len(b))
+	}
+	if a[0].Snap.GIG.Rate != b[0].Snap.GIG.Rate {
+		t.Fatalf("rate changed in round trip: %v vs %v", a[0].Snap.GIG.Rate, b[0].Snap.GIG.Rate)
+	}
+}

@@ -77,21 +77,32 @@ func (t *Telemetry) Epoch(epoch int, loss, lr float64, elapsed time.Duration, re
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		g, ok := regs[name].(*core.GM)
-		if !ok {
+		p, ok := regs[name].(core.Prior)
+		if !ok || !p.Stateful() {
+			// Fixed baselines (and stateless degenerate priors like SLOPE)
+			// learn nothing; they have no mixture snapshot, as before the
+			// Prior refactor.
 			continue
 		}
-		e, m := g.Steps()
+		e, m := p.Steps()
+		pi, lambda := p.Mixture()
+		// The default GM family emits no family tag, keeping its event
+		// stream byte-identical to pre-Prior-interface runs.
+		family := p.Family()
+		if family == core.FamilyGM {
+			family = ""
+		}
 		t.sink.Emit(obs.GMState{
 			Group:      name,
+			Family:     family,
 			Epoch:      epoch,
-			K:          g.K(),
-			Pi:         g.Pi(),
-			Lambda:     g.Lambda(),
+			K:          len(lambda),
+			Pi:         pi,
+			Lambda:     lambda,
 			ESteps:     e,
 			MSteps:     m,
-			Iterations: g.Iterations(),
-			SkipRatio:  g.SkipRatio(),
+			Iterations: p.Iterations(),
+			SkipRatio:  p.SkipRatio(),
 		})
 	}
 }
