@@ -48,21 +48,39 @@ import (
 
 func main() {
 	var (
-		stPath   = cli.Store(flag.CommandLine, "checkpoint store file written by gmreg-train -save")
-		addr     = flag.String("addr", ":8090", "listen address")
-		watch    = flag.Duration("watch", time.Second, "store file poll interval (0 disables hot reload)")
-		replicas = flag.Int("replicas", 0, "inference replicas per model, i.e. concurrent forward passes — not gmreg-train's -workers (0 = half of GOMAXPROCS)")
-		maxBatch = flag.Int("max-batch", 32, "max requests coalesced into one forward pass")
-		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "max time a batch waits to fill")
-		queueCap = flag.Int("queue", 0, "admission queue bound per model (0 = 8×max-batch)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline, queue wait included")
-		noPprof  = flag.Bool("no-pprof", false, "disable the /debug/pprof endpoints")
+		stPath    = cli.Store(flag.CommandLine, "checkpoint store file written by gmreg-train -save")
+		addr      = flag.String("addr", ":8090", "listen address")
+		watch     = flag.Duration("watch", time.Second, "store file poll interval (0 disables hot reload)")
+		replicas  = flag.Int("replicas", 0, "inference replicas per model, i.e. concurrent forward passes — not gmreg-train's -workers (0 = half of GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 32, "max requests coalesced into one forward pass")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max time a batch waits to fill")
+		queueCap  = flag.Int("queue", 0, "admission queue bound per model (0 = 8×max-batch)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request deadline, queue wait included")
+		noPprof   = flag.Bool("no-pprof", false, "disable the /debug/pprof endpoints")
+		telemetry = flag.String("telemetry", "", "append swap/shadow events as JSONL to this file")
+
+		shadow      = flag.Bool("shadow", false, "stage new versions behind mirrored-traffic comparison instead of installing immediately")
+		shadowFrac  = flag.Float64("shadow-fraction", 0.25, "fraction of /predict traffic mirrored to a staged candidate")
+		shadowWin   = flag.Int("shadow-window", 50, "mirrored comparisons that decide a candidate")
+		maxDisagree = flag.Float64("shadow-max-disagree", 0.1, "disagreement fraction a candidate may reach and still promote")
+		rbWindow    = flag.Int("rollback-window", 0, "post-install /predict outcomes judged for auto-rollback (0 disables)")
+		rbErrRate   = flag.Float64("rollback-err-rate", 0.5, "error fraction that triggers auto-rollback to the previous version")
 	)
 	flag.Parse()
 
 	st, err := store.LoadFile(*stPath)
 	if err != nil {
 		fatal(err)
+	}
+	var sink obs.Sink
+	if *telemetry != "" {
+		f, err := os.OpenFile(*telemetry, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		j := obs.NewJSONL(f)
+		defer j.Close()
+		sink = j
 	}
 	reg := serve.NewRegistry(st)
 	srv := serve.NewServer(reg, serve.ServerConfig{
@@ -73,6 +91,18 @@ func main() {
 			QueueCap: *queueCap,
 		},
 		RequestTimeout: *timeout,
+		Sink:           sink,
+		WatchInterval:  *watch,
+		Shadow: serve.ShadowConfig{
+			Enabled:     *shadow,
+			Fraction:    *shadowFrac,
+			Window:      *shadowWin,
+			MaxDisagree: *maxDisagree,
+		},
+		Rollback: serve.RollbackConfig{
+			Window:  *rbWindow,
+			ErrRate: *rbErrRate,
+		},
 	})
 	reg.Refresh()
 	for _, s := range reg.List() {
@@ -89,7 +119,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *watch > 0 {
-		go reg.WatchFile(ctx, *stPath, *watch)
+		go srv.Watch(ctx, *stPath)
 	}
 
 	// Mount the API routes and, unless disabled, the pprof endpoints on an

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// OnlineGM adapts the GM prior to unbounded streams with stepwise EM
+// (Cappé & Moulines): instead of letting each M-step see only the sufficient
+// statistics of the current weight vector, the per-component statistics
+// Σ_m r_k(w_m) and Σ_m r_k(w_m)·w_m² are folded into exponentially decayed
+// accumulators
+//
+//	s ← ρ·s + (1−ρ)·s_fresh
+//
+// and the closed-form M-step (Eqs. 13/17) runs on the decayed values. Because
+// each dimension's responsibilities sum to one, a fresh Σ_m r_k sums to M
+// over components — and so does any convex combination of such vectors, so
+// the decayed statistics keep exactly the normalization the M-step formulas
+// assume. Decay 0 degenerates to the offline GM (every M-step sees only the
+// latest E-step); decay → 1 gives the mixture a long memory, smoothing over
+// minibatch noise while still tracking genuine distribution shift.
+//
+// Component merging is disabled (MergeTolerance forced to 0): the online
+// trainer compares (π, λ) vectors across time windows for drift detection,
+// which requires a dimension-stable mixture, and the decayed accumulators
+// would otherwise need remapping whenever a merge collapsed K.
+//
+// OnlineGM implements Prior with Family() == FamilyGM, so its snapshots,
+// telemetry, and published serving checkpoints are interchangeable with the
+// offline GM's. The decayed accumulators themselves are warm-up state, not
+// checkpointed: a restored OnlineGM re-primes them from its first E-step.
+type OnlineGM struct {
+	g      *GM
+	decay  float64
+	decR   []float64
+	decRW2 []float64
+	primed bool
+}
+
+// NewOnlineGM builds an online GM prior for a parameter group with m
+// dimensions. decay is the sufficient-statistic retention ρ ∈ [0, 1);
+// cfg.MergeTolerance is overridden to 0 (see type comment).
+func NewOnlineGM(m int, cfg Config, decay float64) (*OnlineGM, error) {
+	if decay < 0 || decay >= 1 || math.IsNaN(decay) {
+		return nil, fmt.Errorf("core: online decay must be in [0, 1), got %v", decay)
+	}
+	cfg.MergeTolerance = 0
+	g, err := NewGM(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineGM{
+		g:      g,
+		decay:  decay,
+		decR:   make([]float64, cfg.K),
+		decRW2: make([]float64, cfg.K),
+	}, nil
+}
+
+// estep runs a full responsibility computation for w, folds the fresh
+// sufficient statistics into the decayed accumulators, and writes the decayed
+// values back so the next UptGMParam consumes them.
+func (o *OnlineGM) estep(w []float64) {
+	o.g.CalResponsibility(w)
+	if !o.primed {
+		copy(o.decR, o.g.sumR)
+		copy(o.decRW2, o.g.sumRW2)
+		o.primed = true
+	} else {
+		rho := o.decay
+		for i := range o.decR {
+			o.decR[i] = rho*o.decR[i] + (1-rho)*o.g.sumR[i]
+			o.decRW2[i] = rho*o.decRW2[i] + (1-rho)*o.g.sumRW2[i]
+		}
+	}
+	copy(o.g.sumR, o.decR)
+	copy(o.g.sumRW2, o.decRW2)
+}
+
+// Grad writes the regularization gradient for w into dst, advancing the
+// shared Algorithm 2 lazy schedule by one iteration — identical control flow
+// to GM.Grad, with the decayed E-step substituted.
+func (o *OnlineGM) Grad(w, dst []float64) {
+	o.g.checkDim(w)
+	if len(dst) != o.g.m {
+		panic(fmt.Sprintf("core: dst has %d dims, want %d", len(dst), o.g.m))
+	}
+	cur := lazyCursor{It: o.g.it, EpochIt: o.g.epochIt}
+	lazyStep(o.g.schedule(), &cur,
+		func() { o.estep(w) },
+		func() { o.g.CalcRegGrad(w) },
+		func() { copy(dst, o.g.greg) },
+		o.g.UptGMParam)
+	o.g.it, o.g.epochIt = cur.It, cur.EpochIt
+}
+
+// Decay returns the sufficient-statistic retention ρ.
+func (o *OnlineGM) Decay() float64 { return o.decay }
+
+// GM returns the wrapped mixture, whose JSON form is what serving
+// checkpoints embed (identical to the offline trainer's export).
+func (o *OnlineGM) GM() *GM { return o.g }
+
+// Name implements Prior.
+func (o *OnlineGM) Name() string { return "Online GM Reg" }
+
+// Penalty implements Prior.
+func (o *OnlineGM) Penalty(w []float64) float64 { return o.g.Penalty(w) }
+
+// Family implements Prior: the learned state is a plain GM mixture.
+func (o *OnlineGM) Family() string { return FamilyGM }
+
+// Stateful implements Prior.
+func (o *OnlineGM) Stateful() bool { return true }
+
+// HyperPenalty implements Prior.
+func (o *OnlineGM) HyperPenalty() float64 { return o.g.HyperPenalty() }
+
+// Steps implements Prior.
+func (o *OnlineGM) Steps() (eSteps, mSteps int) { return o.g.Steps() }
+
+// Iterations implements Prior.
+func (o *OnlineGM) Iterations() int { return o.g.Iterations() }
+
+// SkipRatio implements Prior.
+func (o *OnlineGM) SkipRatio() float64 { return o.g.SkipRatio() }
+
+// Mixture implements Prior, returning copies of (π, λ).
+func (o *OnlineGM) Mixture() (pi, lambda []float64) { return o.g.Mixture() }
+
+// SetHooks implements Prior.
+func (o *OnlineGM) SetHooks(h *Hooks) { o.g.SetHooks(h) }
+
+// SetBatchesPerEpoch implements Prior.
+func (o *OnlineGM) SetBatchesPerEpoch(b int) { o.g.SetBatchesPerEpoch(b) }
+
+// PriorSnapshot implements Prior. The snapshot is the wrapped GM's — decayed
+// accumulators are re-primed from the first post-restore E-step.
+func (o *OnlineGM) PriorSnapshot() PriorSnapshot { return o.g.PriorSnapshot() }
+
+// RestorePrior implements Prior.
+func (o *OnlineGM) RestorePrior(s PriorSnapshot) error {
+	if err := o.g.RestorePrior(s); err != nil {
+		return err
+	}
+	if len(o.decR) != len(o.g.pi) {
+		o.decR = make([]float64, len(o.g.pi))
+		o.decRW2 = make([]float64, len(o.g.pi))
+	}
+	o.primed = false
+	return nil
+}

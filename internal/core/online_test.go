@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gmreg/internal/tensor"
+)
+
+var _ Prior = (*OnlineGM)(nil)
+
+func onlineCfg() Config {
+	cfg := DefaultConfig(0.1)
+	// Every Grad call runs a full E/M step so the tests below reason about
+	// exact update counts.
+	cfg.WarmupEpochs = 0
+	cfg.RegInterval = 1
+	cfg.GMInterval = 1
+	return cfg
+}
+
+func TestNewOnlineGMValidatesDecay(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := NewOnlineGM(8, onlineCfg(), bad); err == nil {
+			t.Errorf("decay %v accepted", bad)
+		}
+	}
+	if _, err := NewOnlineGM(8, onlineCfg(), 0.9); err != nil {
+		t.Fatalf("valid decay rejected: %v", err)
+	}
+}
+
+// TestOnlineGMDecayedStatsStayNormalized: a fresh Σ_m r_k sums to M over
+// components, and the decayed convex combination must preserve that — the
+// invariant the closed-form M-step formulas rely on.
+func TestOnlineGMDecayedStatsStayNormalized(t *testing.T) {
+	const m = 64
+	o, err := NewOnlineGM(m, onlineCfg(), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	w := make([]float64, m)
+	dst := make([]float64, m)
+	for step := 0; step < 10; step++ {
+		rng.FillNormal(w, 0, 0.1)
+		o.Grad(w, dst)
+		var sum float64
+		for _, v := range o.decR {
+			sum += v
+		}
+		if math.Abs(sum-float64(m)) > 1e-9 {
+			t.Fatalf("step %d: decayed Σ r_k sums to %v, want %d", step, sum, m)
+		}
+	}
+}
+
+// TestOnlineGMPinsK: merging is disabled regardless of the configured
+// tolerance, so the mixture dimension the drift detector compares across
+// windows never changes.
+func TestOnlineGMPinsK(t *testing.T) {
+	cfg := onlineCfg()
+	cfg.MergeTolerance = 0.5 // would merge aggressively offline
+	const m = 64
+	o, err := NewOnlineGM(m, cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(7)
+	w := make([]float64, m)
+	dst := make([]float64, m)
+	// A single-scale weight vector drives every component's λ to the same
+	// value — the classic merge trigger.
+	for step := 0; step < 200; step++ {
+		rng.FillNormal(w, 0, 0.1)
+		o.Grad(w, dst)
+	}
+	if o.g.K() != cfg.K {
+		t.Fatalf("K collapsed to %d, want pinned %d", o.g.K(), cfg.K)
+	}
+	if len(o.g.MergeHistory()) != 0 {
+		t.Fatalf("unexpected merges: %v", o.g.MergeHistory())
+	}
+}
+
+// TestOnlineGMDecaySmoothsShift: after a distribution shift, a high-decay
+// mixture must move its precisions toward the new scale more slowly than a
+// zero-decay one (which refits from each E-step alone).
+func TestOnlineGMDecaySmoothsShift(t *testing.T) {
+	const m = 256
+	run := func(decay float64) float64 {
+		o, err := NewOnlineGM(m, onlineCfg(), decay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := tensor.NewRNG(11)
+		w := make([]float64, m)
+		dst := make([]float64, m)
+		// Settle on wide weights (std 0.3, precision ≈ 11)...
+		for step := 0; step < 50; step++ {
+			rng.FillNormal(w, 0, 0.3)
+			o.Grad(w, dst)
+		}
+		// ...then take one step on narrow weights (std 0.03, precision ≈ 1111).
+		rng.FillNormal(w, 0, 0.03)
+		o.Grad(w, dst)
+		_, lambda := o.Mixture()
+		var mean float64
+		for _, l := range lambda {
+			mean += math.Log(l)
+		}
+		return mean / float64(len(lambda))
+	}
+	fast, slow := run(0), run(0.95)
+	if slow >= fast {
+		t.Fatalf("decay 0.95 moved log λ to %.3f, decay 0 to %.3f — decayed stats should lag the shift", slow, fast)
+	}
+}
+
+func TestOnlineGMSnapshotRoundTrip(t *testing.T) {
+	const m = 32
+	o, err := NewOnlineGM(m, onlineCfg(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	w := make([]float64, m)
+	dst := make([]float64, m)
+	for step := 0; step < 20; step++ {
+		rng.FillNormal(w, 0, 0.1)
+		o.Grad(w, dst)
+	}
+	snap := o.PriorSnapshot()
+	if snap.Family != FamilyGM {
+		t.Fatalf("snapshot family %q, want %q", snap.Family, FamilyGM)
+	}
+	o2, err := NewOnlineGM(m, onlineCfg(), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.RestorePrior(snap); err != nil {
+		t.Fatal(err)
+	}
+	p1, l1 := o.Mixture()
+	p2, l2 := o2.Mixture()
+	for i := range p1 {
+		if p1[i] != p2[i] || l1[i] != l2[i] {
+			t.Fatalf("mixture diverged after restore: (%v,%v) vs (%v,%v)", p1, l1, p2, l2)
+		}
+	}
+	// The restored prior must re-prime its decayed accumulators and keep
+	// training without disturbance.
+	rng.FillNormal(w, 0, 0.1)
+	o2.Grad(w, dst)
+	if e, _ := o2.Steps(); e == 0 {
+		t.Fatal("restored prior ran no E-step")
+	}
+}

@@ -183,14 +183,30 @@ type Prefetcher struct {
 }
 
 func newPrefetcher(s *Stream) *Prefetcher {
+	return NewPrefetcherFunc(len(s.slots), s.fill)
+}
+
+// NewPrefetcherFunc is the generalized prefetcher: fill(si) assembles the
+// next batch of an arbitrary sequence into slot si (one of nSlots recycled
+// buffers the caller owns) and reports ok=false once the sequence ends. The
+// producer goroutine only reuses a slot after the consumer has traded it back
+// in via Next, so a returned batch is never written concurrently — the same
+// contract the image-stream prefetcher was built on. The online trainer uses
+// this to assemble stream minibatches (file tail, socket) ahead of the SGD
+// step. fill may block (e.g. waiting on a socket); Close does not interrupt a
+// blocked fill, so stream fills must honor their own cancellation.
+func NewPrefetcherFunc(nSlots int, fill func(si int) (*tensor.Tensor, []int, bool)) *Prefetcher {
+	if nSlots < 1 {
+		panic(fmt.Sprintf("data: prefetcher needs at least 1 slot, got %d", nSlots))
+	}
 	p := &Prefetcher{
-		ready: make(chan prefetched, len(s.slots)),
-		free:  make(chan int, len(s.slots)),
+		ready: make(chan prefetched, nSlots),
+		free:  make(chan int, nSlots),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 		prev:  -1,
 	}
-	for i := range s.slots {
+	for i := 0; i < nSlots; i++ {
 		p.free <- i
 	}
 	go func() {
@@ -202,7 +218,7 @@ func newPrefetcher(s *Stream) *Prefetcher {
 			case <-p.stop:
 				return
 			}
-			x, y, ok := s.fill(si)
+			x, y, ok := fill(si)
 			select {
 			case p.ready <- prefetched{slot: si, x: x, y: y, ok: ok}:
 			case <-p.stop:

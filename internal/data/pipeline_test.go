@@ -120,3 +120,39 @@ func TestPrefetcherEarlyClose(t *testing.T) {
 	b.Close()
 	b.Close() // idempotent
 }
+
+// TestNewPrefetcherFunc drives the generalized prefetcher over a synthetic
+// fill sequence: every batch arrives in order, slots are recycled (never
+// more than nSlots outstanding), and exhaustion is reported exactly once.
+func TestNewPrefetcherFunc(t *testing.T) {
+	const total, nSlots = 17, 2
+	slots := make([][]int, nSlots)
+	for i := range slots {
+		slots[i] = make([]int, 1)
+	}
+	produced := 0
+	p := NewPrefetcherFunc(nSlots, func(si int) (*tensor.Tensor, []int, bool) {
+		if produced >= total {
+			return nil, nil, false
+		}
+		slots[si][0] = produced
+		produced++
+		return nil, slots[si], true
+	})
+	defer p.Close()
+	for want := 0; want < total; want++ {
+		_, y := p.Next()
+		if y == nil {
+			t.Fatalf("sequence ended early at %d", want)
+		}
+		if y[0] != want {
+			t.Fatalf("batch %d arrived out of order as %d", want, y[0])
+		}
+	}
+	if _, y := p.Next(); y != nil {
+		t.Fatalf("batch after exhaustion: %v", y)
+	}
+	if _, y := p.Next(); y != nil {
+		t.Fatalf("eof is not sticky: %v", y)
+	}
+}

@@ -162,6 +162,75 @@ type Swap struct {
 // Kind implements Event.
 func (Swap) Kind() string { return "swap" }
 
+// Publish records one serving checkpoint published by the online trainer —
+// the train side of the train→publish→serve loop. LatencySec is the
+// train-to-store latency (marshal + versioned put + atomic snapshot write);
+// a watching gmreg-serve adds at most its poll interval on top, so the
+// ROADMAP's "train-to-production latency in seconds" claim is auditable from
+// the event stream alone.
+type Publish struct {
+	// Model is the store key published under.
+	Model string `json:"model"`
+	// Seq and Hash identify the store version written.
+	Seq  int    `json:"seq"`
+	Hash string `json:"hash"`
+	// Step and Samples locate the publish in the stream (SGD steps taken,
+	// samples consumed).
+	Step    int `json:"step"`
+	Samples int `json:"samples"`
+	// LatencySec is the checkpoint capture+store+snapshot wall time.
+	LatencySec float64 `json:"latency_sec"`
+	// Final marks the publish performed at stream end / shutdown.
+	Final bool `json:"final,omitempty"`
+}
+
+// Kind implements Event.
+func (Publish) Kind() string { return "publish" }
+
+// Drift records the online trainer's mixture-shift detector firing: the
+// windowed mean of the learned (π, log λ) moved beyond the configured
+// threshold relative to the reference window. The learned prior itself is
+// the drift signal — no labeled holdout required.
+type Drift struct {
+	// Model is the store key being trained.
+	Model string `json:"model"`
+	// Step and Samples locate the detection in the stream.
+	Step    int `json:"step"`
+	Samples int `json:"samples"`
+	// Score is the mean |Δ| of the (π, log λ) window vector against the
+	// reference window; Threshold is the configured trigger level.
+	Score     float64 `json:"score"`
+	Threshold float64 `json:"threshold"`
+	// Pi and Lambda are the mixture at detection time.
+	Pi     []float64 `json:"pi"`
+	Lambda []float64 `json:"lambda"`
+}
+
+// Kind implements Event.
+func (Drift) Kind() string { return "drift" }
+
+// Shadow records one transition of the serving-side shadow/promotion state
+// machine (DESIGN.md §16): a candidate version staged for mirrored
+// comparison, promoted into live serving, rejected, or rolled back by the
+// post-promotion error-rate watch.
+type Shadow struct {
+	// Model is the serving key.
+	Model string `json:"model"`
+	// Action is "stage", "promote", "reject", or "rollback".
+	Action string `json:"action"`
+	// Seq is the candidate (stage/promote/reject) or restored (rollback)
+	// version.
+	Seq int `json:"seq"`
+	// Compared and Disagreed summarize the mirror window (promote/reject).
+	Compared  int `json:"compared,omitempty"`
+	Disagreed int `json:"disagreed,omitempty"`
+	// ErrRate is the observed post-promotion error fraction (rollback).
+	ErrRate float64 `json:"err_rate,omitempty"`
+}
+
+// Kind implements Event.
+func (Shadow) Kind() string { return "shadow" }
+
 // record is the JSONL envelope: kind + wall-clock time + the event payload.
 type record struct {
 	Kind string    `json:"kind"`

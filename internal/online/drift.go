@@ -1,0 +1,80 @@
+package online
+
+import "math"
+
+// driftDetector turns the learned mixture into a distribution-shift signal.
+// After every SGD step it ingests the prior's (π, λ); each component
+// contributes π_k and log λ_k to a feature vector (log, because precision
+// shifts are multiplicative), and the detector compares consecutive
+// non-overlapping window means of that vector: the score is the mean |Δ|
+// between a completed window and the one before it, so a stationary stream
+// scores near zero once online EM settles while a distribution shift moves
+// the mixture — and the score — sharply. The first burnIn comparisons are
+// suppressed: the mixture is still converging from its init then, and that
+// transient looks exactly like drift.
+//
+// The mixture's dimension is stable by construction — core.OnlineGM pins K —
+// so windows are always comparable.
+type driftDetector struct {
+	window    int
+	threshold float64
+	burnIn    int // completed-window comparisons still suppressed
+
+	ref  []float64 // previous window mean (nil until the first window ends)
+	acc  []float64 // current window accumulator
+	n    int       // observations in the current window
+	vbuf []float64 // per-observation feature scratch
+}
+
+func newDriftDetector(window int, threshold float64, burnIn int) *driftDetector {
+	if window < 1 {
+		window = 1
+	}
+	if burnIn < 0 {
+		burnIn = 0
+	}
+	return &driftDetector{window: window, threshold: threshold, burnIn: burnIn}
+}
+
+// observe ingests one post-step mixture. It returns the window score and
+// whether that score crossed the threshold; score is only meaningful (and
+// drifted only possibly true) on the step that completes a window.
+func (d *driftDetector) observe(pi, lambda []float64) (score float64, drifted bool) {
+	k := len(pi)
+	if d.vbuf == nil {
+		d.vbuf = make([]float64, 2*k)
+		d.acc = make([]float64, 2*k)
+	}
+	v := d.vbuf
+	for i := 0; i < k; i++ {
+		v[i] = pi[i]
+		v[k+i] = math.Log(lambda[i])
+	}
+	for i, x := range v {
+		d.acc[i] += x
+	}
+	d.n++
+	if d.n < d.window {
+		return 0, false
+	}
+	mean := make([]float64, len(d.acc))
+	for i, s := range d.acc {
+		mean[i] = s / float64(d.n)
+		d.acc[i] = 0
+	}
+	d.n = 0
+	if d.ref == nil {
+		d.ref = mean
+		return 0, false
+	}
+	for i := range mean {
+		score += math.Abs(mean[i] - d.ref[i])
+	}
+	score /= float64(len(mean))
+	d.ref = mean
+	if d.burnIn > 0 {
+		d.burnIn--
+		return score, false
+	}
+	return score, score > d.threshold
+}

@@ -39,12 +39,28 @@ type ServerConfig struct {
 	// several servers in one process should pass fresh registries.
 	Metrics *obs.Registry
 	// Sink, when non-nil, receives an obs.Swap event for every checkpoint
-	// version installed (first load included).
+	// version installed (first load included) and obs.Shadow events for the
+	// stage/promote/reject/rollback transitions.
 	Sink obs.Sink
+	// Shadow stages new versions behind mirrored-traffic comparison instead
+	// of installing them immediately (see shadow.go).
+	Shadow ShadowConfig
+	// Rollback arms a post-install error-rate watch that pins the key back
+	// to its previous version on a spike. Disabled unless Window > 0.
+	Rollback RollbackConfig
+	// WatchInterval is the store-snapshot poll interval Server.Watch uses.
+	// Defaults to 1s; tightening it shrinks the publish→serve latency tail
+	// (the poll adds up to one interval on top of the trainer's write).
+	WatchInterval time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
 	c.Predictor = c.Predictor.withDefaults()
+	c.Shadow = c.Shadow.withDefaults()
+	c.Rollback = c.Rollback.withDefaults()
+	if c.WatchInterval <= 0 {
+		c.WatchInterval = time.Second
+	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 4 * c.Predictor.QueueCap
 	}
@@ -87,6 +103,16 @@ type Server struct {
 	preds map[string]*Predictor
 	perr  map[string]string     // key → last predictor build/swap error
 	inst  map[string]*modelInst // key → per-model metric handles
+
+	// Shadow/rollback state (shadow.go). The atomic counters are the hot
+	// path's only exposure: both zero means /predict skips the mutex-guarded
+	// state entirely, preserving the allocation budget.
+	shadowN     atomic.Int64 // staged candidates
+	rbN         atomic.Int64 // armed rollback watches
+	shMu        sync.Mutex
+	shadows     map[string]*shadowState
+	watches     map[string]*rollbackWatch
+	shadowDelta *obs.Histogram // max-prob |Δ| per mirrored comparison
 }
 
 // NewServer wires a server to reg. Call reg.Refresh (or start a watcher)
@@ -94,46 +120,48 @@ type Server struct {
 func NewServer(reg *Registry, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		reg:   reg,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxInflight),
-		start: time.Now(),
-		preds: map[string]*Predictor{},
-		perr:  map[string]string{},
-		inst:  map[string]*modelInst{},
+		reg:     reg,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		start:   time.Now(),
+		preds:   map[string]*Predictor{},
+		perr:    map[string]string{},
+		inst:    map[string]*modelInst{},
+		shadows: map[string]*shadowState{},
+		watches: map[string]*rollbackWatch{},
+	}
+	if cfg.Shadow.Enabled {
+		s.shadowDelta = cfg.Metrics.Histogram("gmreg_serve_shadow_maxprob_delta",
+			"Absolute max-probability difference per mirrored shadow comparison.",
+			obs.ExpBuckets(0.001, 4, 6))
 	}
 	registerProcessMetrics(cfg.Metrics, s)
 	reg.OnSwap(s.onSwap)
 	return s
 }
 
-// onSwap is the registry callback: build a predictor for a new key, or swap
-// the replica pool of an existing one. Runs with the registry lock held.
+// onSwap is the registry callback: build a predictor for a new key, swap (or
+// replace) the replica pool of an existing one — or, with shadow serving
+// enabled, stage a forward version change as a candidate that mirrored
+// traffic must clear first. Runs with the registry lock held.
 func (s *Server) onSwap(m *Model) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if p, ok := s.preds[m.Key]; ok {
-		if err := p.Swap(m); err != nil {
-			s.perr[m.Key] = err.Error()
-			return
-		}
-	} else {
-		pc := s.cfg.Predictor
-		pc.BatchSizes = s.cfg.Metrics.Histogram("gmreg_serve_batch_size",
-			"Requests coalesced into one forward pass.",
-			batchSizeBuckets, obs.L("model", m.Key))
-		p, err := NewPredictor(m, pc)
-		if err != nil {
-			s.perr[m.Key] = err.Error()
-			return
-		}
-		s.preds[m.Key] = p
-		s.inst[m.Key] = instrumentModel(s.cfg.Metrics, m.Key, p)
+	if p, ok := s.preds[m.Key]; ok && s.cfg.Shadow.Enabled && m.Version.Seq > p.Version().Seq {
+		s.stageLocked(m)
+		return
 	}
-	delete(s.perr, m.Key)
-	s.inst[m.Key].swaps.Inc()
-	if s.cfg.Sink != nil {
-		s.cfg.Sink.Emit(obs.Swap{Model: m.Key, Seq: m.Version.Seq, Hash: m.Version.Hash})
+	prevSeq := 0
+	if p, ok := s.preds[m.Key]; ok {
+		prevSeq = p.Version().Seq
+	}
+	// Backward moves are rollback/pin restores and may rebuild the predictor
+	// across an architecture change; unvalidated forward installs may not.
+	s.installLocked(m, prevSeq > 0 && m.Version.Seq < prevSeq)
+	if m.Version.Seq > prevSeq {
+		// Forward installs (shadow disabled, or the first version change
+		// after a restart) still get the post-install safety net.
+		s.armRollbackLocked(m.Key, prevSeq)
 	}
 }
 
@@ -157,7 +185,7 @@ func (s *Server) predictor(name string) (*Predictor, string, error) {
 	return p, name, nil
 }
 
-// Close drains every predictor.
+// Close drains every predictor, staged shadow candidates included.
 func (s *Server) Close() {
 	s.mu.Lock()
 	preds := make([]*Predictor, 0, len(s.preds))
@@ -165,6 +193,13 @@ func (s *Server) Close() {
 		preds = append(preds, p)
 	}
 	s.mu.Unlock()
+	s.shMu.Lock()
+	for key, sh := range s.shadows {
+		preds = append(preds, sh.cand)
+		delete(s.shadows, key)
+		s.shadowN.Add(-1)
+	}
+	s.shMu.Unlock()
 	for _, p := range preds {
 		p.Close()
 	}
@@ -306,6 +341,14 @@ func (s *Server) servePredict(ctx context.Context, wb *wireBuf, body io.Reader) 
 	}
 	if inst != nil {
 		inst.latency.Observe(time.Since(t0).Seconds())
+	}
+	// Shadow/rollback hooks: the atomic gates keep the disabled (and idle)
+	// case to two loads, preserving the zero-allocation budget.
+	if s.rbN.Load() != 0 {
+		s.noteResult(wb.model, err == nil)
+	}
+	if err == nil && s.shadowN.Load() != 0 {
+		s.maybeMirror(wb.model, wb.features, res.Label, res.Probs[res.Label])
 	}
 	switch {
 	case err == nil:

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"strconv"
+
+	"gmreg/internal/obs"
+)
+
+// Shadow serving (DESIGN.md §16): with online training continuously
+// publishing new versions, installing each one sight-unseen turns every
+// publish into a production gamble. Instead, an arriving version is staged as
+// a shadow candidate: a fraction of live /predict traffic is mirrored to it,
+// its answers are compared against the serving version's, and only a window
+// that stays under the disagreement budget promotes it through the existing
+// hot-swap path. After a promotion (or any forward install) an error-rate
+// watch can automatically roll back to the previous version via Registry.Pin.
+//
+// Both mechanisms are strictly off the hot path until enabled: a single
+// atomic counter guards each, so the /predict allocation budget is untouched
+// when they are idle.
+
+// ShadowConfig tunes candidate staging and promotion.
+type ShadowConfig struct {
+	// Enabled stages new versions for mirrored comparison instead of
+	// installing them immediately. First loads always install directly.
+	Enabled bool
+	// Fraction is the share of /predict traffic mirrored to the candidate
+	// (sampled as every round(1/Fraction)-th request). Defaults to 0.25.
+	Fraction float64
+	// Window is the number of mirrored comparisons that decide a candidate.
+	// Defaults to 50.
+	Window int
+	// MaxDisagree is the disagreement fraction (label mismatches, candidate
+	// errors included) the window may reach and still promote. Defaults
+	// to 0.1.
+	MaxDisagree float64
+}
+
+func (c ShadowConfig) withDefaults() ShadowConfig {
+	if c.Fraction <= 0 || c.Fraction > 1 {
+		c.Fraction = 0.25
+	}
+	if c.Window <= 0 {
+		c.Window = 50
+	}
+	if c.MaxDisagree <= 0 {
+		c.MaxDisagree = 0.1
+	}
+	return c
+}
+
+// RollbackConfig tunes the post-install error-rate watch.
+type RollbackConfig struct {
+	// Window is the number of /predict outcomes observed after an install
+	// before the error rate is judged. 0 disables automatic rollback.
+	Window int
+	// ErrRate is the error fraction at or above which the key is pinned
+	// back to its previous version. Defaults to 0.5.
+	ErrRate float64
+}
+
+func (c RollbackConfig) withDefaults() RollbackConfig {
+	if c.ErrRate <= 0 || c.ErrRate > 1 {
+		c.ErrRate = 0.5
+	}
+	return c
+}
+
+// shadowState is one staged candidate: its own predictor fed by mirrored
+// traffic, plus the comparison window.
+type shadowState struct {
+	key   string
+	model *Model
+	cand  *Predictor
+	every int64 // mirror every every-th request
+
+	seen      int64 // requests observed since staging (for sampling)
+	compared  int
+	disagreed int
+	deciding  bool // window full; a decision is in flight
+}
+
+// rollbackWatch observes post-install outcomes for one key.
+type rollbackWatch struct {
+	prevSeq int // version to restore
+	total   int
+	errs    int
+	firing  bool // rollback goroutine launched
+}
+
+// mirrorEvery converts a traffic fraction into a sampling stride.
+func mirrorEvery(fraction float64) int64 {
+	e := int64(math.Round(1 / fraction))
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// stageLocked replaces any staged candidate for m.Key with a fresh one.
+// Caller holds s.mu.
+func (s *Server) stageLocked(m *Model) {
+	pc := s.cfg.Predictor
+	pc.BatchSizes = nil // candidate batches should not pollute the serving histogram
+	cand, err := NewPredictor(m, pc)
+	if err != nil {
+		s.perr[m.Key] = err.Error()
+		return
+	}
+	sh := &shadowState{
+		key:   m.Key,
+		model: m,
+		cand:  cand,
+		every: mirrorEvery(s.cfg.Shadow.Fraction),
+	}
+	s.shMu.Lock()
+	if old := s.shadows[m.Key]; old != nil {
+		// A newer version arrived before the window closed: the old
+		// candidate is obsolete, the new one starts a fresh window.
+		go old.cand.Close()
+	} else {
+		s.shadowN.Add(1)
+	}
+	s.shadows[m.Key] = sh
+	s.shMu.Unlock()
+	delete(s.perr, m.Key)
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(obs.Shadow{Model: m.Key, Action: "stage", Seq: m.Version.Seq})
+	}
+}
+
+// installLocked makes m the serving version for its key: hot-swap the replica
+// pool when the architecture is unchanged, or — only when allowRespec —
+// build a replacement predictor when it is not. allowRespec is reserved for
+// shadow-validated promotions and backward (rollback/pin) moves; an
+// unvalidated forward install to a different architecture keeps failing
+// loudly, exactly as before shadow serving existed. Caller holds s.mu.
+func (s *Server) installLocked(m *Model, allowRespec bool) {
+	if p, ok := s.preds[m.Key]; ok {
+		if err := p.Swap(m); err != nil {
+			if !allowRespec {
+				s.perr[m.Key] = err.Error()
+				return
+			}
+			np, nerr := s.newPredictorLocked(m)
+			if nerr != nil {
+				s.perr[m.Key] = nerr.Error()
+				return
+			}
+			s.preds[m.Key] = np
+			// Re-point the scrape-time closures at the replacement.
+			s.inst[m.Key] = instrumentModel(s.cfg.Metrics, m.Key, np)
+			go p.Close() // drains in-flight requests on the old version
+		}
+	} else {
+		np, err := s.newPredictorLocked(m)
+		if err != nil {
+			s.perr[m.Key] = err.Error()
+			return
+		}
+		s.preds[m.Key] = np
+		s.inst[m.Key] = instrumentModel(s.cfg.Metrics, m.Key, np)
+	}
+	delete(s.perr, m.Key)
+	s.inst[m.Key].swaps.Inc()
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(obs.Swap{Model: m.Key, Seq: m.Version.Seq, Hash: m.Version.Hash})
+	}
+}
+
+// newPredictorLocked builds a serving predictor for m with the per-model
+// batch-size histogram wired. Caller holds s.mu.
+func (s *Server) newPredictorLocked(m *Model) (*Predictor, error) {
+	pc := s.cfg.Predictor
+	pc.BatchSizes = s.cfg.Metrics.Histogram("gmreg_serve_batch_size",
+		"Requests coalesced into one forward pass.",
+		batchSizeBuckets, obs.L("model", m.Key))
+	return NewPredictor(m, pc)
+}
+
+// armRollbackLocked starts (or restarts) the post-install error-rate watch
+// for key, rolling back to prevSeq on a spike. Caller holds s.mu.
+func (s *Server) armRollbackLocked(key string, prevSeq int) {
+	if s.cfg.Rollback.Window <= 0 || prevSeq <= 0 {
+		return
+	}
+	s.shMu.Lock()
+	if s.watches[key] == nil {
+		s.rbN.Add(1)
+	}
+	s.watches[key] = &rollbackWatch{prevSeq: prevSeq}
+	s.shMu.Unlock()
+}
+
+// noteResult feeds one /predict outcome to the rollback watch, firing the
+// rollback once the window completes with the error rate at or beyond the
+// threshold. Called from the hot path only while a watch is armed (the rbN
+// fast-path gate), so its cost — a mutex and a map lookup — is opt-in.
+func (s *Server) noteResult(model []byte, ok bool) {
+	s.shMu.Lock()
+	w := s.watches[string(model)]
+	if w == nil || w.firing {
+		s.shMu.Unlock()
+		return
+	}
+	w.total++
+	if !ok {
+		w.errs++
+	}
+	if w.total < s.cfg.Rollback.Window {
+		s.shMu.Unlock()
+		return
+	}
+	rate := float64(w.errs) / float64(w.total)
+	key := string(model)
+	if rate < s.cfg.Rollback.ErrRate {
+		// Healthy window: the install is accepted, the watch retires.
+		delete(s.watches, key)
+		s.rbN.Add(-1)
+		s.shMu.Unlock()
+		return
+	}
+	w.firing = true
+	prevSeq := w.prevSeq
+	s.shMu.Unlock()
+	// Pin re-enters the registry (and its swap callback re-enters this
+	// server), so it must run off this request's goroutine with no server
+	// locks held.
+	go s.rollback(key, prevSeq, rate)
+}
+
+// rollback pins key back to prevSeq and retires the watch.
+func (s *Server) rollback(key string, prevSeq int, rate float64) {
+	_, err := s.reg.Pin(key, prevSeq)
+	s.shMu.Lock()
+	if w := s.watches[key]; w != nil {
+		delete(s.watches, key)
+		s.rbN.Add(-1)
+	}
+	s.shMu.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		s.perr[key] = "rollback to v" + strconv.Itoa(prevSeq) + " failed: " + err.Error()
+		s.mu.Unlock()
+		return
+	}
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(obs.Shadow{Model: key, Action: "rollback", Seq: prevSeq, ErrRate: rate})
+	}
+}
+
+// maybeMirror samples one successfully served request for mirroring to the
+// key's staged candidate. Called from the hot path only while a candidate is
+// staged (the shadowN fast-path gate); the features are copied because the
+// caller's buffer is recycled when the request completes.
+func (s *Server) maybeMirror(model []byte, features []float64, primLabel int, primMax float64) {
+	s.shMu.Lock()
+	sh := s.shadows[string(model)]
+	if sh == nil || sh.deciding {
+		s.shMu.Unlock()
+		return
+	}
+	sh.seen++
+	if sh.seen%sh.every != 0 {
+		s.shMu.Unlock()
+		return
+	}
+	cand := sh.cand
+	s.shMu.Unlock()
+	feat := append([]float64(nil), features...)
+	go s.mirror(sh, cand, feat, primLabel, primMax)
+}
+
+// mirror runs one mirrored comparison and closes the window when full.
+func (s *Server) mirror(sh *shadowState, cand *Predictor, feat []float64, primLabel int, primMax float64) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	res, err := cand.Predict(ctx, feat)
+	cancel()
+	disagree := err != nil || res.Label != primLabel
+	delta := 1.0 // a failing candidate is maximal disagreement
+	if err == nil {
+		delta = math.Abs(res.Probs[res.Label] - primMax)
+	}
+	if s.shadowDelta != nil {
+		s.shadowDelta.Observe(delta)
+	}
+	s.shMu.Lock()
+	if s.shadows[sh.key] != sh || sh.deciding {
+		s.shMu.Unlock() // superseded or already decided
+		return
+	}
+	sh.compared++
+	if disagree {
+		sh.disagreed++
+	}
+	if sh.compared < s.cfg.Shadow.Window {
+		s.shMu.Unlock()
+		return
+	}
+	sh.deciding = true
+	compared, disagreed := sh.compared, sh.disagreed
+	s.shMu.Unlock()
+	s.decide(sh, compared, disagreed)
+}
+
+// decide promotes or rejects a candidate whose window is full.
+func (s *Server) decide(sh *shadowState, compared, disagreed int) {
+	promote := float64(disagreed) <= s.cfg.Shadow.MaxDisagree*float64(compared)
+	if promote {
+		s.mu.Lock()
+		prevSeq := 0
+		if p, ok := s.preds[sh.key]; ok {
+			prevSeq = p.Version().Seq
+		}
+		s.installLocked(sh.model, true)
+		s.armRollbackLocked(sh.key, prevSeq)
+		s.mu.Unlock()
+	}
+	s.shMu.Lock()
+	if s.shadows[sh.key] == sh {
+		delete(s.shadows, sh.key)
+		s.shadowN.Add(-1)
+	}
+	s.shMu.Unlock()
+	go sh.cand.Close() // the candidate pool is not needed either way
+	if s.cfg.Sink != nil {
+		action := "reject"
+		if promote {
+			action = "promote"
+		}
+		s.cfg.Sink.Emit(obs.Shadow{
+			Model: sh.key, Action: action, Seq: sh.model.Version.Seq,
+			Compared: compared, Disagreed: disagreed,
+		})
+	}
+}
+
+// Watch polls the store snapshot at path with the configured WatchInterval
+// until ctx is cancelled, hot-reloading new versions into the registry (and
+// so through the shadow/install pipeline). It blocks; run it on its own
+// goroutine.
+func (s *Server) Watch(ctx context.Context, path string) {
+	s.reg.WatchFile(ctx, path, s.cfg.WatchInterval)
+}

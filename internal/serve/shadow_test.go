@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gmreg/internal/models"
+	"gmreg/internal/obs"
+	"gmreg/internal/store"
+	"gmreg/internal/tensor"
+)
+
+// logregCkpt builds a logistic-regression checkpoint with exact weights, so
+// tests control agreement between versions deterministically.
+func logregCkpt(t *testing.T, w []float64, b float64) *Checkpoint {
+	t.Helper()
+	l := models.NewLogisticRegression(len(w), 0, tensor.NewRNG(1))
+	copy(l.W, w)
+	l.B = b
+	ckpt, err := NewCheckpoint(models.Spec{Family: "logreg", In: len(w)},
+		models.LogRegNetwork(l), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckpt
+}
+
+// eventSink records events for assertion.
+type eventSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *eventSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// shadowActions returns the obs.Shadow actions seen so far, in order.
+func (s *eventSink) shadowActions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, e := range s.events {
+		if sh, ok := e.(obs.Shadow); ok {
+			out = append(out, sh.Action)
+		}
+	}
+	return out
+}
+
+func (s *eventSink) lastShadow(action string) (obs.Shadow, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.events) - 1; i >= 0; i-- {
+		if sh, ok := s.events[i].(obs.Shadow); ok && sh.Action == action {
+			return sh, true
+		}
+	}
+	return obs.Shadow{}, false
+}
+
+// shadowHarness stands up a server over one logreg key with shadow serving
+// configured, returning the pieces tests drive directly.
+func shadowHarness(t *testing.T, cfg ServerConfig) (*httptest.Server, *Registry, *store.Store, *eventSink) {
+	t.Helper()
+	st := store.New()
+	if _, err := PutCheckpoint(st, "lr", logregCkpt(t, []float64{3, 0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	sink := &eventSink{}
+	cfg.Sink = sink
+	cfg.Metrics = obs.NewRegistry()
+	if cfg.Predictor.Replicas == 0 {
+		cfg.Predictor = Config{Replicas: 1, MaxBatch: 1, QueueCap: 16}
+	}
+	reg := NewRegistry(st)
+	srv := NewServer(reg, cfg)
+	reg.Refresh()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, reg, st, sink
+}
+
+// servingSeq reads the seq /predict answers with (0 on error).
+func servingSeq(t *testing.T, ts *httptest.Server, features []float64) int {
+	t.Helper()
+	resp, out := postJSON(t, ts.URL+"/predict", map[string]any{"model": "lr", "features": features})
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	return int(out["version"].(map[string]any)["seq"].(float64))
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestShadowPromotesAgreeingCandidate(t *testing.T) {
+	ts, reg, st, sink := shadowHarness(t, ServerConfig{
+		Shadow: ShadowConfig{Enabled: true, Fraction: 1, Window: 4, MaxDisagree: 0.25},
+	})
+	x := []float64{1, 0}
+	if seq := servingSeq(t, ts, x); seq != 1 {
+		t.Fatalf("serving seq %d before candidate, want 1", seq)
+	}
+
+	// v2 scales the weights but flips no labels: every mirrored comparison
+	// agrees, so the window must promote it.
+	if _, err := PutCheckpoint(st, "lr", logregCkpt(t, []float64{4, 0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	reg.Refresh()
+	if got := sink.shadowActions(); len(got) == 0 || got[0] != "stage" {
+		t.Fatalf("shadow actions after refresh: %v, want [stage ...]", got)
+	}
+	if seq := servingSeq(t, ts, x); seq != 1 {
+		t.Fatalf("staged candidate went live immediately (seq %d)", seq)
+	}
+
+	// Mirrors are async: keep driving traffic until the window decides.
+	waitFor(t, 5*time.Second, "promotion", func() bool {
+		return servingSeq(t, ts, x) == 2
+	})
+	sh, ok := sink.lastShadow("promote")
+	if !ok {
+		t.Fatalf("no promote event; actions %v", sink.shadowActions())
+	}
+	if sh.Seq != 2 || sh.Compared < 4 || sh.Disagreed > 1 {
+		t.Fatalf("promote event %+v", sh)
+	}
+}
+
+func TestShadowRejectsDisagreeingCandidate(t *testing.T) {
+	ts, reg, st, sink := shadowHarness(t, ServerConfig{
+		Shadow: ShadowConfig{Enabled: true, Fraction: 1, Window: 4, MaxDisagree: 0.25},
+	})
+	x := []float64{1, 0}
+
+	// v2 negates the weights: every label flips, every comparison disagrees.
+	if _, err := PutCheckpoint(st, "lr", logregCkpt(t, []float64{-3, 0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	reg.Refresh()
+	waitFor(t, 5*time.Second, "rejection", func() bool {
+		servingSeq(t, ts, x)
+		_, rejected := sink.lastShadow("reject")
+		return rejected
+	})
+	sh, _ := sink.lastShadow("reject")
+	if sh.Seq != 2 || sh.Disagreed < sh.Compared {
+		t.Fatalf("reject event %+v, want full disagreement on seq 2", sh)
+	}
+	if seq := servingSeq(t, ts, x); seq != 1 {
+		t.Fatalf("rejected candidate is serving (seq %d)", seq)
+	}
+	if _, ok := sink.lastShadow("promote"); ok {
+		t.Fatal("rejected candidate was also promoted")
+	}
+}
+
+// TestShadowRollbackOnErrorRateSpike is the forced-spike loop: a candidate
+// with a different architecture is promoted through a deliberately permissive
+// shadow window, every live request then fails against it, and the rollback
+// watch must pin the key back to the previous version — after which traffic
+// succeeds again.
+func TestShadowRollbackOnErrorRateSpike(t *testing.T) {
+	ts, reg, st, sink := shadowHarness(t, ServerConfig{
+		Shadow:   ShadowConfig{Enabled: true, Fraction: 1, Window: 1, MaxDisagree: 1},
+		Rollback: RollbackConfig{Window: 5, ErrRate: 0.5},
+	})
+	x := []float64{1, 0}
+
+	// v2 takes three features; the two-feature production traffic cannot be
+	// served by it. MaxDisagree 1.0 promotes it anyway — the misconfigured
+	// gate the rollback watch exists to catch.
+	if _, err := PutCheckpoint(st, "lr", logregCkpt(t, []float64{1, 1, 1}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	reg.Refresh()
+	waitFor(t, 5*time.Second, "promotion of the bad candidate", func() bool {
+		servingSeq(t, ts, x)
+		_, promoted := sink.lastShadow("promote")
+		return promoted
+	})
+
+	// Live traffic now errors (wrong feature count for the promoted spec);
+	// the watch window fills and rolls back to v1.
+	waitFor(t, 5*time.Second, "automatic rollback", func() bool {
+		return servingSeq(t, ts, x) == 1
+	})
+	sh, ok := sink.lastShadow("rollback")
+	if !ok {
+		t.Fatalf("no rollback event; actions %v", sink.shadowActions())
+	}
+	if sh.Seq != 1 || sh.ErrRate < 0.5 {
+		t.Fatalf("rollback event %+v, want restore to seq 1 with err_rate >= 0.5", sh)
+	}
+	// The registry is pinned to the restored version, so a later refresh
+	// must not re-promote the broken latest.
+	reg.Refresh()
+	if seq := servingSeq(t, ts, x); seq != 1 {
+		t.Fatalf("serving seq %d after rollback+refresh, want pinned 1", seq)
+	}
+	var pinned bool
+	for _, stt := range reg.List() {
+		if stt.Key == "lr" {
+			pinned = stt.Pinned
+		}
+	}
+	if !pinned {
+		t.Fatal("rollback did not pin the restored version")
+	}
+}
+
+// TestWatchIntervalConfigurable is the WatchInterval satellite: a tightened
+// poll interval picks up a new snapshot promptly, while a very long one does
+// not — the interval is honored, not hardcoded.
+func TestWatchIntervalConfigurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.store")
+	st := store.New()
+	if _, err := PutCheckpoint(st, "lr", logregCkpt(t, []float64{3, 0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+
+	newWatcher := func(interval time.Duration) (*Registry, *Server, context.CancelFunc) {
+		loaded, err := store.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := NewRegistry(loaded)
+		srv := NewServer(reg, ServerConfig{
+			Predictor:     Config{Replicas: 1, MaxBatch: 1, QueueCap: 4},
+			Metrics:       obs.NewRegistry(),
+			WatchInterval: interval,
+		})
+		reg.Refresh()
+		ctx, cancel := context.WithCancel(context.Background())
+		go srv.Watch(ctx, path)
+		t.Cleanup(func() { cancel(); srv.Close() })
+		return reg, srv, cancel
+	}
+
+	fast, _, _ := newWatcher(10 * time.Millisecond)
+	slow, _, _ := newWatcher(time.Hour)
+
+	// Write v2 into the snapshot both watchers poll.
+	if _, err := PutCheckpoint(st, "lr", logregCkpt(t, []float64{4, 0}, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 5*time.Second, "fast watcher to pick up v2", func() bool {
+		m, ok := fast.Current("lr")
+		return ok && m.Version.Seq == 2
+	})
+	// The hour-interval watcher must still serve v1 well after the fast one
+	// swapped — its first tick is an hour away.
+	time.Sleep(50 * time.Millisecond)
+	if m, ok := slow.Current("lr"); !ok || m.Version.Seq != 1 {
+		t.Fatalf("slow watcher serving %+v, want v1 untouched", m)
+	}
+}
